@@ -1,0 +1,111 @@
+"""§8 — lower bounds: the net→MST-weight reduction and the Ω̃(√n+D) floor.
+
+Theorem 7's reduction is run end-to-end: the estimator Ψ from O(log n)
+net-oracle calls must sandwich the MST weight, and *because* it does, any
+net algorithm inherits the [SHK+12] Ω̃(√n) floor — shown here by placing
+every construction's charged rounds against the floor.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from conftest import print_table, run_once
+
+from repro.core import (
+    build_net,
+    congest_round_floor,
+    estimate_mst_weight_via_nets,
+    light_spanner,
+    shallow_light_tree,
+)
+from repro.graphs import das_sarma_hard_graph, erdos_renyi_graph, hop_diameter
+
+
+@pytest.mark.parametrize("planted", [1.0, 100.0, 10_000.0])
+def test_theorem7_reduction_on_hard_family(benchmark, planted):
+    g, mst_w = das_sarma_hard_graph(120, planted_weight=planted, seed=1)
+    est = run_once(benchmark, estimate_mst_weight_via_nets, g, net_method="greedy")
+    upper = 16 * est.alpha * math.log2(g.n)
+    print_table(
+        f"Theorem 7 reduction, planted weight {planted}",
+        ["quantity", "value"],
+        [
+            ["w(MST) = L", f"{mst_w:.0f}"],
+            ["Psi", f"{est.psi:.0f}"],
+            ["Psi / L", f"{est.approximation_ratio:.2f}"],
+            ["guarantee", f"1 <= Psi/L <= O(alpha log n) ~ {upper:.0f}"],
+            ["net scales used", f"{len(est.net_sizes)}"],
+        ],
+    )
+    benchmark.extra_info.update(planted=planted, ratio=est.approximation_ratio)
+    assert 1.0 - 1e-9 <= est.approximation_ratio <= upper
+
+
+def test_estimator_distinguishes_planted_weights(benchmark):
+    """The crux of the hardness transfer: Ψ separates light/heavy plants."""
+
+    def run():
+        out = []
+        for planted in (1.0, 100.0, 10_000.0):
+            g, w = das_sarma_hard_graph(100, planted_weight=planted, seed=2)
+            est = estimate_mst_weight_via_nets(g, net_method="greedy")
+            out.append((planted, w, est.psi))
+        return out
+
+    rows = run_once(benchmark, run)
+    print_table(
+        "Psi tracks the planted MST weight",
+        ["planted w", "L", "Psi"],
+        [[p, f"{l:.0f}", f"{psi:.0f}"] for p, l, psi in rows],
+    )
+    assert rows[2][2] > rows[0][2]
+
+
+def test_distributed_net_oracle_reduction(benchmark):
+    """Same reduction with the actual Theorem-3 nets (rounds now real
+    charges — this is the object the lower bound constrains)."""
+    g = erdos_renyi_graph(40, 0.2, seed=3)
+    est = run_once(
+        benchmark, estimate_mst_weight_via_nets, g,
+        net_method="distributed", rng=random.Random(3),
+    )
+    floor = congest_round_floor(g.n, hop_diameter(g))
+    print_table(
+        "Theorem 7 with distributed nets (n=40)",
+        ["quantity", "value"],
+        [
+            ["Psi / L", f"{est.approximation_ratio:.2f}"],
+            ["total charged rounds", f"{est.ledger.total}"],
+            ["Omega~(sqrt n + D) floor", f"{floor:.0f}"],
+        ],
+    )
+    assert est.ledger.total >= floor
+
+
+def test_all_constructions_respect_round_floor(benchmark):
+    """Theorem 6: light spanners and SLTs cannot beat Ω̃(√n + D)."""
+    g = erdos_renyi_graph(64, 0.15, seed=4)
+    d = hop_diameter(g)
+    floor = congest_round_floor(g.n, d)
+
+    def run():
+        sp = light_spanner(g, 2, 0.25, random.Random(4))
+        sl = shallow_light_tree(g, 0, 8.0)
+        nt = build_net(g, 30.0, 0.5, random.Random(4))
+        return sp.rounds, sl.rounds, nt.rounds
+
+    sp_r, sl_r, nt_r = run_once(benchmark, run)
+    print_table(
+        f"Charged rounds vs the Omega~(sqrt(n)+D) floor (n=64, D={d})",
+        ["construction", "rounds", "floor", "rounds/floor"],
+        [
+            ["light spanner (Thm 2)", sp_r, f"{floor:.0f}", f"{sp_r / floor:.1f}"],
+            ["SLT (Thm 1)", sl_r, f"{floor:.0f}", f"{sl_r / floor:.1f}"],
+            ["net (Thm 3)", nt_r, f"{floor:.0f}", f"{nt_r / floor:.1f}"],
+        ],
+    )
+    assert min(sp_r, sl_r, nt_r) >= floor

@@ -1,0 +1,61 @@
+"""Hierarchical nets — the per-scale structure behind §7.
+
+Reports level sizes against the Claim-7 cap (``n_i <= ceil(2L/2^i)``-style
+packing at each scale) and the nesting behaviour of the net-tree variant.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from conftest import print_table, run_once
+
+from repro.core import build_net_hierarchy
+from repro.graphs import random_geometric_graph
+from repro.mst.kruskal import kruskal_mst
+
+
+def test_hierarchy_level_sizes(benchmark):
+    g = random_geometric_graph(50, seed=17)
+    mst_w = kruskal_mst(g).total_weight()
+    h = run_once(
+        benchmark, build_net_hierarchy, g, eps=1.0, method="greedy", nested=True
+    )
+    rows = []
+    for lvl in h.levels:
+        cap = math.ceil(2 * mst_w / lvl.beta)
+        rows.append([lvl.index, f"{lvl.scale:.0f}", len(lvl.points), cap])
+        assert len(lvl.points) <= cap
+    print_table(
+        "Nested net hierarchy (geometric n=50, base 2)",
+        ["level", "scale", "|N_i|", "Claim-7 cap"],
+        rows,
+    )
+    benchmark.extra_info.update(levels=h.num_levels)
+
+
+def test_nested_vs_independent_sizes(benchmark):
+    """Nesting loses little: level sizes of the net-tree stay within a
+    small factor of the independently-built nets."""
+    g = random_geometric_graph(40, seed=18)
+
+    def run():
+        nested = build_net_hierarchy(g, eps=1.0, method="greedy", nested=True)
+        indep = build_net_hierarchy(g, eps=1.0, method="greedy", nested=False)
+        return nested, indep
+
+    nested, indep = run_once(benchmark, run)
+    rows = [
+        [a.index, len(a.points), len(b.points)]
+        for a, b in zip(nested.levels, indep.levels)
+    ]
+    print_table(
+        "Nested vs independent per-level net sizes",
+        ["level", "nested", "independent"],
+        rows,
+    )
+    for a, b in zip(nested.levels, indep.levels):
+        assert len(a.points) <= 4 * len(b.points) + 4

@@ -1,0 +1,131 @@
+"""Microbenchmarks of the CONGEST substrate itself.
+
+Validates the cost model that every composed construction charges
+against: measured BFS rounds vs hop-diameter, pipelined broadcast vs the
+Lemma-1 formula, keyed aggregation vs O(#keys + height), and the native
+§5 case-1 simulation vs the ledger charge the light spanner uses.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import print_table, run_once
+
+from repro.congest import (
+    broadcast_messages,
+    broadcast_rounds,
+    build_bfs_tree,
+)
+from repro.congest.keyed_aggregate import keyed_max_convergecast
+from repro.congest.primitives import pipelined_aggregate_rounds
+from repro.core import simulate_case1_bucket
+from repro.core.light_spanner import _case1_clusters
+from repro.graphs import (
+    barbell_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    hop_diameter,
+    hypercube_graph,
+)
+from repro.mst import kruskal_mst
+from repro.traversal import compute_euler_tour
+
+
+@pytest.mark.parametrize(
+    "name,graph",
+    [
+        ("grid 8x8", grid_graph(8, 8)),
+        ("hypercube d=6", hypercube_graph(6)),
+        ("barbell 5+20", barbell_graph(5, 20)),
+        ("ER(60, .15)", erdos_renyi_graph(60, 0.15, seed=1)),
+    ],
+)
+def test_bfs_rounds_track_diameter(benchmark, name, graph):
+    d = hop_diameter(graph)
+    tree = run_once(benchmark, build_bfs_tree, graph, min(graph.vertices(), key=repr))
+    print_table(
+        f"BFS on {name}",
+        ["hop diameter", "BFS height", "measured rounds"],
+        [[d, tree.height, tree.rounds]],
+    )
+    assert tree.rounds <= d + 3
+    benchmark.extra_info.update(diameter=d, rounds=tree.rounds)
+
+
+@pytest.mark.parametrize("messages", [5, 20, 60])
+def test_broadcast_measured_vs_lemma1(benchmark, messages):
+    g = grid_graph(6, 6)
+    tree = build_bfs_tree(g, 0)
+    payloads = {v: ["x"] for v in list(g.vertices())[:messages]}
+
+    def run():
+        return broadcast_messages(g, tree, payloads)
+
+    _, measured = run_once(benchmark, run)
+    charged = broadcast_rounds(messages, tree.height)
+    print_table(
+        f"Pipelined broadcast, M={messages}",
+        ["M", "height", "Lemma-1 charge (M+h)", "measured (two-way)"],
+        [[messages, tree.height, charged, measured]],
+    )
+    assert measured <= 2 * charged + 6
+    benchmark.extra_info.update(M=messages, measured=measured, charged=charged)
+
+
+@pytest.mark.parametrize("keys", [3, 10, 30])
+def test_keyed_aggregate_scaling(benchmark, keys):
+    g = grid_graph(6, 6)
+    tree = build_bfs_tree(g, 0)
+    rng = random.Random(keys)
+    inputs = {
+        v: {f"k{i:02d}": (rng.random(), "s") for i in range(keys)}
+        for v in g.vertices()
+    }
+
+    def run():
+        return keyed_max_convergecast(g, tree, inputs)
+
+    merged, rounds = run_once(benchmark, run)
+    charged = pipelined_aggregate_rounds(keys, tree.height)
+    print_table(
+        f"Keyed-max convergecast, {keys} keys",
+        ["keys", "height", "charge (K+h)", "measured"],
+        [[keys, tree.height, charged, rounds]],
+    )
+    assert len(merged) == keys
+    assert rounds <= 2 * charged + 8
+    benchmark.extra_info.update(keys=keys, measured=rounds)
+
+
+def test_case1_simulation_measured_vs_charged(benchmark):
+    """The §5 light spanner charges each case-1 [EN17b] round at
+    1 + 2(|C_i| + height); the native execution must land within a small
+    constant of that."""
+    g = erdos_renyi_graph(30, 0.25, seed=7)
+    tree = build_bfs_tree(g, 0)
+    mst = kruskal_mst(g)
+    tour = compute_euler_tour(mst, 0)
+    eps_wi = 0.25 * 2 * mst.total_weight() / 2.0
+    cluster_of = _case1_clusters(tour, eps_wi)
+    num_clusters = len(set(cluster_of.values()))
+    k = 2
+
+    sim = run_once(
+        benchmark, simulate_case1_bucket, g, tree, cluster_of, k, random.Random(7)
+    )
+    charged_per_round = 1 + 2 * (num_clusters + tree.height)
+    rows = [
+        [r + 1, cc, bc, charged_per_round]
+        for r, (cc, bc) in enumerate(sim.round_breakdown)
+    ]
+    print_table(
+        f"§5 case-1 native simulation ({num_clusters} clusters, k={k})",
+        ["EN round", "convergecast", "broadcast", "ledger charge"],
+        rows,
+    )
+    for cc, bc in sim.round_breakdown:
+        assert cc + bc <= 3 * charged_per_round + 12
+    benchmark.extra_info.update(total=sim.rounds)

@@ -1,0 +1,113 @@
+"""Table 1, row 4 — light spanners for doubling graphs (§7, Theorem 5).
+
+Paper bounds: distortion 1+ε, lightness ε^{−O(ddim)}·log n, size
+n·ε^{−O(ddim)}·log n, rounds (√n + D)·ε^{−Õ(√log n + ddim)}.
+The benchmark sweeps ε on a ddim≈2 workload and checks the packing-driven
+quantities (per-vertex exploration overlap, per-scale net sizes).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from conftest import print_table, run_once
+
+from repro.analysis import lightness, max_pairwise_stretch
+from repro.core import doubling_spanner
+from repro.graphs import (
+    doubling_dimension_estimate,
+    grid_graph,
+    random_geometric_graph,
+)
+
+N = 40
+
+
+@pytest.mark.parametrize("eps", [0.04, 0.08, 0.12])
+def test_doubling_eps_sweep(benchmark, eps):
+    g = random_geometric_graph(N, seed=21)
+    res = run_once(benchmark, doubling_spanner, g, eps, random.Random(1), net_method="greedy")
+    ms = max_pairwise_stretch(g, res.spanner)
+    ml = lightness(g, res.spanner)
+    print_table(
+        f"Table 1 row 4 (doubling spanner), eps={eps}, n={N}",
+        ["metric", "paper bound", "measured"],
+        [
+            ["distortion", f"1+eps (cert. 1+30eps = {res.stretch_bound:.2f})", f"{ms:.4f}"],
+            ["lightness", "eps^-O(ddim) log n", f"{ml:.1f}"],
+            ["size", "n eps^-O(ddim) log n", f"{res.spanner.m}"],
+            ["rounds", "(sqrt(n)+D) eps^-~O(sqrt(log n)+ddim)", f"{res.rounds}"],
+        ],
+    )
+    benchmark.extra_info.update(eps=eps, stretch=ms, lightness=ml,
+                                edges=res.spanner.m, rounds=res.rounds)
+    assert ms <= res.stretch_bound + 1e-9
+
+
+def test_doubling_lightness_grows_as_eps_shrinks(benchmark):
+    """The ε^{-O(ddim)} shape: smaller ε must cost more weight."""
+    g = random_geometric_graph(N, seed=22)
+
+    def sweep():
+        return [
+            (eps, lightness(g, doubling_spanner(
+                g, eps, random.Random(2), net_method="greedy").spanner))
+            for eps in (0.12, 0.06, 0.03)
+        ]
+
+    points = run_once(benchmark, sweep)
+    print_table(
+        "Doubling spanner lightness vs eps",
+        ["eps", "lightness"],
+        [[e, f"{l:.1f}"] for e, l in points],
+    )
+    lights = [l for _, l in points]
+    assert lights[-1] >= lights[0] - 1e-9  # finer eps is at least as heavy
+
+
+def test_doubling_packing_overlap(benchmark):
+    """Lemma 6 in action: the max number of 2Δ-explorations any vertex
+    joins must stay far below the net size (it is ε^{-O(ddim)})."""
+    g = grid_graph(6, 6, jitter=0.2, seed=23)
+    res = run_once(benchmark, doubling_spanner, g, 0.1, random.Random(3), net_method="greedy")
+    rows = [
+        [s.index, f"{s.scale:.1f}", s.net_size, s.paths_added, s.max_overlap]
+        for s in res.scales
+        if s.paths_added > 0
+    ][:12]
+    print_table(
+        "Per-scale stats (grid 6x6, eps=0.1)",
+        ["scale idx", "Delta", "net size", "paths", "max overlap"],
+        rows,
+    )
+    worst = max(s.max_overlap for s in res.scales)
+    benchmark.extra_info.update(worst_overlap=worst)
+    assert worst <= g.n
+
+
+def test_doubling_vs_general_spanner(benchmark):
+    """§7's motivation: on doubling inputs, the specialized construction
+    achieves ~1+ε stretch, far below any (2k−1)-spanner's."""
+    from repro.core import light_spanner
+
+    g = random_geometric_graph(N, seed=24)
+    ddim = doubling_dimension_estimate(g)
+
+    def both():
+        d = doubling_spanner(g, 0.1, random.Random(4), net_method="greedy")
+        s = light_spanner(g, 2, 0.25, random.Random(4))
+        return d, s
+
+    d, s = run_once(benchmark, both)
+    print_table(
+        f"Doubling (1+eps) vs general (2k-1)(1+eps) spanner, ddim~{ddim:.1f}",
+        ["construction", "stretch bound", "measured stretch", "edges"],
+        [
+            ["doubling, eps=0.1", f"{d.stretch_bound:.2f}", f"{max_pairwise_stretch(g, d.spanner):.3f}", d.spanner.m],
+            ["general, k=2", f"{s.stretch_bound:.2f}", f"{max_pairwise_stretch(g, s.spanner):.3f}", s.spanner.m],
+        ],
+    )
+    assert max_pairwise_stretch(g, d.spanner) <= d.stretch_bound

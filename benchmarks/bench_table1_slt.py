@@ -1,0 +1,81 @@
+"""Table 1, row 2 — shallow-light trees (§4, Theorem 1).
+
+Paper bounds: stretch ``1 + O(1)/(α−1)`` at lightness α, rounds
+``Õ(√n + D)·poly(1/(α−1))``.  The benchmark traces the trade-off curve in
+both regimes (direct construction for large α, the [BFN16] reduction for
+lightness → 1) and the rounds scaling in n.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import print_table, run_once
+
+from repro.analysis import lightness, root_stretch
+from repro.core import shallow_light_tree
+from repro.graphs import erdos_renyi_graph, hop_diameter, star_graph
+
+N = 80
+ROOT = 0
+
+
+@pytest.mark.parametrize("alpha", [1.2, 1.5, 2.0, 5.0, 9.0, 17.0])
+def test_slt_tradeoff_curve(benchmark, alpha):
+    """The (α, 1+O(1)/(α−1)) frontier: lightness ≤ α at all points, stretch
+    decreasing in α — the [KRY95]-optimal shape."""
+    g = erdos_renyi_graph(N, 0.2, seed=7)
+    res = run_once(benchmark, shallow_light_tree, g, ROOT, alpha)
+    ms = root_stretch(g, res.tree, ROOT)
+    ml = lightness(g, res.tree)
+    print_table(
+        f"Table 1 row 2 (SLT), alpha={alpha}, n={N}",
+        ["metric", "paper bound", "measured"],
+        [
+            ["lightness", f"alpha = {alpha}", f"{ml:.3f}"],
+            ["root-stretch", f"1 + O(1)/(alpha-1) <= {res.stretch_bound:.1f}", f"{ms:.3f}"],
+            ["rounds", "~O(sqrt(n)+D) poly(1/(alpha-1))", f"{res.rounds}"],
+        ],
+    )
+    benchmark.extra_info.update(alpha=alpha, stretch=ms, lightness=ml, rounds=res.rounds)
+    assert ml <= alpha + 1e-9
+    assert ms <= res.stretch_bound + 1e-9
+
+
+def test_slt_stretch_monotone_in_alpha(benchmark):
+    """Crossover shape: as α grows the tree leans on the MST (stretch up,
+    weight down); the measured curve must be the paper's frontier shape."""
+    g = star_graph(40, spoke_weight=10.0, rim_weight=1.0)
+
+    def curve():
+        out = []
+        for alpha in (1.1, 2.0, 8.0, 30.0):
+            res = shallow_light_tree(g, 0, alpha)
+            out.append(
+                (alpha, lightness(g, res.tree), root_stretch(g, res.tree, 0))
+            )
+        return out
+
+    points = run_once(benchmark, curve)
+    print_table(
+        "SLT trade-off on star+rim (MST root-stretch is terrible)",
+        ["alpha", "lightness", "root-stretch"],
+        [[a, f"{l:.3f}", f"{s:.3f}"] for a, l, s in points],
+    )
+    lights = [l for _, l, _ in points]
+    assert all(x <= a + 1e-9 for (a, x, _) in points)
+
+
+@pytest.mark.parametrize("n", [36, 72, 144])
+def test_slt_rounds_scaling(benchmark, n):
+    """Rounds ~ Õ(√n + D): quadrupling n should roughly double rounds."""
+    g = erdos_renyi_graph(n, min(1.0, 8.0 / n), seed=n)
+    res = run_once(benchmark, shallow_light_tree, g, ROOT, 8.0)
+    print_table(
+        f"SLT rounds scaling, n={n}",
+        ["n", "D", "rounds", "rounds/sqrt(n)"],
+        [[n, hop_diameter(g), res.rounds, f"{res.rounds / n ** 0.5:.1f}"]],
+    )
+    benchmark.extra_info.update(n=n, rounds=res.rounds)

@@ -1,0 +1,34 @@
+"""Shared benchmark helpers.
+
+Every benchmark prints a table in the shape of the corresponding paper
+row (Table 1) with columns  *paper bound* vs *measured*, and attaches the
+measured quantities to ``benchmark.extra_info`` so the pytest-benchmark
+JSON output carries them too.  Construction timing uses
+``benchmark.pedantic(rounds=1)`` — the object of study is the *round
+complexity and quality* of the constructions, not Python wall-time, so
+one timed round keeps the harness fast while still recording wall-time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+
+def print_table(title: str, columns: List[str], rows: Iterable[Iterable]) -> None:
+    """Render an aligned ASCII table to stdout (shown with pytest -s)."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time a single construction run via pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Quickstart: every Table-1 construction on one small network.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro.analysis import (
+    lightness,
+    max_edge_stretch,
+    max_pairwise_stretch,
+    root_stretch,
+    verify_net,
+    verify_slt,
+    verify_spanner,
+)
+from repro.core import (
+    build_net,
+    doubling_spanner,
+    estimate_mst_weight_via_nets,
+    light_spanner,
+    shallow_light_tree,
+)
+from repro.graphs import erdos_renyi_graph, hop_diameter, random_geometric_graph
+
+
+def main() -> None:
+    rng = random.Random(0)
+    g = erdos_renyi_graph(60, 0.2, seed=1)
+    print(f"input graph: {g}  (hop-diameter D = {hop_diameter(g)})")
+
+    # --- §5: light spanner --------------------------------------------
+    sp = light_spanner(g, k=2, eps=0.25, rng=rng)
+    verify_spanner(g, sp.spanner, sp.stretch_bound)
+    print(
+        f"\n[§5] light spanner, k=2:"
+        f"\n     stretch   {max_edge_stretch(g, sp.spanner):.3f}"
+        f"  (guaranteed <= {sp.stretch_bound:.2f})"
+        f"\n     lightness {lightness(g, sp.spanner):.2f}"
+        f"\n     edges     {sp.spanner.m} of {g.m}"
+        f"\n     rounds    {sp.rounds} (charged CONGEST rounds)"
+    )
+
+    # --- §4: shallow-light tree ---------------------------------------
+    slt = shallow_light_tree(g, root=0, alpha=5.0)
+    verify_slt(g, slt.tree, 0, slt.stretch_bound, 5.0)
+    print(
+        f"\n[§4] shallow-light tree, lightness budget alpha=5:"
+        f"\n     lightness    {lightness(g, slt.tree):.3f}  (<= 5)"
+        f"\n     root-stretch {root_stretch(g, slt.tree, 0):.3f}"
+        f"  (guaranteed <= {slt.stretch_bound:.1f})"
+        f"\n     rounds       {slt.rounds}"
+    )
+
+    # --- §6: net -------------------------------------------------------
+    net = build_net(g, delta_param=30.0, delta=0.5, rng=rng)
+    verify_net(g, net.points, net.alpha, net.beta)
+    print(
+        f"\n[§6] ({net.alpha:.0f}, {net.beta:.0f})-net:"
+        f"\n     {len(net.points)} points in {net.iterations} kill iterations"
+        f"\n     rounds {net.rounds}"
+    )
+
+    # --- §7: doubling spanner -----------------------------------------
+    gg = random_geometric_graph(35, seed=2)
+    ds = doubling_spanner(gg, eps=0.1, rng=rng, net_method="greedy")
+    print(
+        f"\n[§7] doubling spanner on a geometric graph (n={gg.n}):"
+        f"\n     stretch   {max_pairwise_stretch(gg, ds.spanner):.4f}"
+        f"  (guaranteed <= {ds.stretch_bound:.2f})"
+        f"\n     lightness {lightness(gg, ds.spanner):.1f}"
+        f"\n     edges     {ds.spanner.m}"
+    )
+
+    # --- §8: MST-weight estimation via nets ----------------------------
+    est = estimate_mst_weight_via_nets(g, net_method="greedy")
+    print(
+        f"\n[§8] MST weight via net cardinalities:"
+        f"\n     Psi = {est.psi:.0f} vs L = {est.mst_weight:.0f}"
+        f"  (ratio {est.approximation_ratio:.2f}, guaranteed O(alpha log n))"
+    )
+
+
+if __name__ == "__main__":
+    main()

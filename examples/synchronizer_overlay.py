@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Network synchronizer over a light spanner.
+
+§1.1's classical application ([Awe85, PU89]): a synchronizer lets a
+synchronous algorithm run on an asynchronous network by sending "pulse"
+acknowledgements over a sparse, light subgraph each round.  The per-pulse
+communication cost is the total weight of the overlay; its per-pulse
+latency penalty is the overlay's stretch.
+
+This example compares three overlays on a random network — the full
+graph, the MST, and the §5 light spanner — and prints the per-pulse cost
+and the worst detour any edge's acknowledgement takes.
+
+Run:  python examples/synchronizer_overlay.py
+"""
+
+import random
+
+from repro.analysis import lightness, max_edge_stretch, sparsity
+from repro.core import light_spanner
+from repro.graphs import erdos_renyi_graph
+from repro.mst.kruskal import kruskal_mst
+
+
+def main() -> None:
+    g = erdos_renyi_graph(80, 0.8, seed=11)
+    print(f"network: {g}\n")
+
+    mst = kruskal_mst(g)
+    sp = light_spanner(g, k=3, eps=0.25, rng=random.Random(11))
+
+    overlays = [
+        ("full graph", g),
+        ("MST", mst),
+        ("light spanner (k=3)", sp.spanner),
+    ]
+    print(f"{'overlay':<22}{'edges':>7}{'pulse cost w(H)':>17}"
+          f"{'cost/MST':>10}{'worst detour':>14}")
+    for name, h in overlays:
+        print(
+            f"{name:<22}{sparsity(h):>7}{h.total_weight():>17.0f}"
+            f"{lightness(g, h):>10.2f}"
+            f"{max_edge_stretch(g, h):>14.2f}"
+        )
+
+    print(
+        "\nThe MST minimizes pulse cost but an acknowledgement between"
+        f"\nadjacent nodes can detour by {max_edge_stretch(g, mst):.1f}x; the"
+        " spanner caps the detour"
+        f"\nat its stretch guarantee ({sp.stretch_bound:.2f}) for"
+        f" {lightness(g, sp.spanner) / lightness(g, g) * 100:.0f}% of the"
+        " full graph's pulse cost."
+        f"\nConstruction took {sp.rounds} charged CONGEST rounds"
+        " (Theorem 2: sublinear in n)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""repro — reproduction of *Distributed Construction of Light Networks*
+(Elkin, Filtser, Neiman; PODC 2020).
+
+Public API highlights
+---------------------
+Graphs & model
+    :class:`repro.graphs.WeightedGraph`, the generators in
+    :mod:`repro.graphs`, and the CONGEST simulator in :mod:`repro.congest`.
+The paper's constructions (Table 1)
+    :func:`repro.core.light_spanner`   — (2k−1)(1+ε)-spanner, lightness
+    O(k·n^{1/k})  (§5);
+    :func:`repro.core.shallow_light_tree` — (1+O(1)/(α−1), α)-SLT (§4);
+    :func:`repro.core.build_net`       — ((1+δ)Δ, Δ/(1+δ))-net (§6);
+    :func:`repro.core.doubling_spanner` — (1+ε)-spanner for doubling
+    graphs (§7);
+    :func:`repro.core.estimate_mst_weight_via_nets` — the §8 reduction.
+Measurement
+    :mod:`repro.analysis` — stretch / lightness / validity certificates.
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.graphs import WeightedGraph
+from repro.core import (
+    light_spanner,
+    shallow_light_tree,
+    slt_base,
+    build_net,
+    greedy_net,
+    doubling_spanner,
+    estimate_mst_weight_via_nets,
+)
+from repro.analysis import (
+    lightness,
+    max_edge_stretch,
+    max_pairwise_stretch,
+    root_stretch,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "WeightedGraph",
+    "light_spanner",
+    "shallow_light_tree",
+    "slt_base",
+    "build_net",
+    "greedy_net",
+    "doubling_spanner",
+    "estimate_mst_weight_via_nets",
+    "lightness",
+    "max_edge_stretch",
+    "max_pairwise_stretch",
+    "root_stretch",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Lightness and sparsity — the paper's weight/size metrics (§1).
+
+Lightness of H = ``w(H) / w(MST(G))``; sparsity = number of edges.  The
+MST weight is computed with the library's deterministic Kruskal so every
+benchmark normalizes against the same tree.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.graphs.weighted_graph import WeightedGraph
+from repro.mst.kruskal import kruskal_mst
+
+
+def lightness(
+    graph: WeightedGraph,
+    subgraph: WeightedGraph,
+    mst: Optional[WeightedGraph] = None,
+) -> float:
+    """``w(subgraph) / w(MST(graph))`` (pass ``mst`` to reuse a computed one)."""
+    tree = mst if mst is not None else kruskal_mst(graph)
+    denom = tree.total_weight()
+    if denom == 0:
+        return 1.0 if subgraph.total_weight() == 0 else float("inf")
+    return subgraph.total_weight() / denom
+
+
+def sparsity(subgraph: WeightedGraph) -> int:
+    """Number of edges of the subgraph (the paper's "size" column)."""
+    return subgraph.m

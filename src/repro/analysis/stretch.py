@@ -1,0 +1,85 @@
+"""Stretch measurement.
+
+The paper's stretch analyses are per-edge (§5.1: "By the triangle
+inequality, it suffices to show that for every edge {u,v} ∈ E,
+d_H(u, v) <= (2k−1)(1+ε)·w(e)"), so :func:`max_edge_stretch` is the
+canonical certificate; :func:`max_pairwise_stretch` is the exhaustive
+(all-pairs) check for test-sized graphs, and :func:`root_stretch` is the
+SLT's single-source variant.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.graphs.shortest_paths import dijkstra
+from repro.graphs.weighted_graph import Vertex, WeightedGraph
+
+INF = float("inf")
+
+
+def max_edge_stretch(graph: WeightedGraph, spanner: WeightedGraph) -> float:
+    """``max_{e={u,v} ∈ E(G)} d_H(u, v) / w(e)``.
+
+    By the triangle inequality this upper-bounds the all-pairs stretch.
+    Computed by one Dijkstra in H per vertex (only vertices with incident
+    G-edges matter).
+    """
+    worst = 1.0
+    for u in graph.vertices():
+        incident = list(graph.neighbor_items(u))
+        if not incident:
+            continue
+        dist, _ = dijkstra(spanner, u)
+        for v, w in incident:
+            d = dist.get(v, INF)
+            if d == INF:
+                return INF
+            worst = max(worst, d / w)
+    return worst
+
+
+def max_pairwise_stretch(graph: WeightedGraph, spanner: WeightedGraph) -> float:
+    """Exact all-pairs stretch ``max_{u≠v} d_H(u,v) / d_G(u,v)``."""
+    worst = 1.0
+    for u in graph.vertices():
+        dg, _ = dijkstra(graph, u)
+        dh, _ = dijkstra(spanner, u)
+        for v, d in dg.items():
+            if v == u or d == 0:
+                continue
+            s = dh.get(v, INF)
+            if s == INF:
+                return INF
+            worst = max(worst, s / d)
+    return worst
+
+
+def average_stretch(graph: WeightedGraph, spanner: WeightedGraph) -> float:
+    """Mean pairwise stretch (reported alongside the max in benchmarks)."""
+    total = 0.0
+    count = 0
+    for u in graph.vertices():
+        dg, _ = dijkstra(graph, u)
+        dh, _ = dijkstra(spanner, u)
+        for v, d in dg.items():
+            if v == u or d == 0:
+                continue
+            total += dh.get(v, INF) / d
+            count += 1
+    return total / count if count else 1.0
+
+
+def root_stretch(graph: WeightedGraph, tree: WeightedGraph, root: Vertex) -> float:
+    """``max_v d_T(rt, v) / d_G(rt, v)`` — the SLT's distortion (§4)."""
+    dg, _ = dijkstra(graph, root)
+    dt, _ = dijkstra(tree, root)
+    worst = 1.0
+    for v, d in dg.items():
+        if v == root or d == 0:
+            continue
+        s = dt.get(v, INF)
+        if s == INF:
+            return INF
+        worst = max(worst, s / d)
+    return worst

@@ -1,0 +1,111 @@
+"""Structural verification of the paper's objects.
+
+Each ``verify_*`` raises :class:`ValidationError` with a precise message
+on the first violated property — the test-suite and the benchmark harness
+run them on every produced object, so a regression in any construction
+fails loudly rather than skewing the measured numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.stretch import max_edge_stretch, root_stretch
+from repro.graphs.shortest_paths import dijkstra
+from repro.graphs.weighted_graph import Vertex, WeightedGraph
+from repro.mst.kruskal import kruskal_mst
+
+
+class ValidationError(AssertionError):
+    """A produced object violates one of the paper's guarantees."""
+
+
+def verify_subgraph(graph: WeightedGraph, subgraph: WeightedGraph) -> None:
+    """Every edge of ``subgraph`` must be an edge of ``graph``, same weight.
+
+    The paper's spanners and SLTs are subgraphs of G — virtual shortcuts
+    are not allowed (hopset edges must be expanded to witness paths first).
+    """
+    for u, v, w in subgraph.edges():
+        if not graph.has_edge(u, v):
+            raise ValidationError(f"edge {{{u!r}, {v!r}}} not in the host graph")
+        if abs(graph.weight(u, v) - w) > 1e-9:
+            raise ValidationError(
+                f"edge {{{u!r}, {v!r}}} weight {w} differs from host "
+                f"{graph.weight(u, v)}"
+            )
+
+
+def verify_spanning_tree(graph: WeightedGraph, tree: WeightedGraph) -> None:
+    """``tree`` must be a spanning tree of ``graph`` and a subgraph of it."""
+    verify_subgraph(graph, tree)
+    if set(tree.vertices()) != set(graph.vertices()):
+        raise ValidationError("tree does not span all vertices")
+    if not tree.is_tree():
+        raise ValidationError(f"not a tree: n={tree.n}, m={tree.m}")
+
+
+def verify_spanner(graph: WeightedGraph, spanner: WeightedGraph, stretch: float) -> None:
+    """``spanner`` must be a subgraph with per-edge stretch <= ``stretch``."""
+    verify_subgraph(graph, spanner)
+    if set(spanner.vertices()) != set(graph.vertices()):
+        raise ValidationError("spanner does not span all vertices")
+    measured = max_edge_stretch(graph, spanner)
+    if measured > stretch + 1e-9:
+        raise ValidationError(
+            f"stretch violated: measured {measured:.6f} > allowed {stretch:.6f}"
+        )
+
+
+def verify_slt(
+    graph: WeightedGraph,
+    tree: WeightedGraph,
+    root: Vertex,
+    alpha: float,
+    beta: float,
+) -> None:
+    """``tree`` must be an (α, β)-SLT: root-stretch <= α, lightness <= β."""
+    verify_spanning_tree(graph, tree)
+    measured_stretch = root_stretch(graph, tree, root)
+    if measured_stretch > alpha + 1e-9:
+        raise ValidationError(
+            f"SLT root-stretch violated: {measured_stretch:.6f} > {alpha:.6f}"
+        )
+    mst_weight = kruskal_mst(graph).total_weight()
+    if tree.total_weight() > beta * mst_weight + 1e-9:
+        raise ValidationError(
+            f"SLT lightness violated: {tree.total_weight() / mst_weight:.6f} "
+            f"> {beta:.6f}"
+        )
+
+
+def verify_net(
+    graph: WeightedGraph,
+    points: Iterable[Vertex],
+    alpha: float,
+    beta: float,
+) -> None:
+    """``points`` must be an (α, β)-net: α-covering and β-separated (§6)."""
+    points = set(points)
+    if not points:
+        raise ValidationError("net is empty")
+    for p in points:
+        if not graph.has_vertex(p):
+            raise ValidationError(f"net point {p!r} is not a vertex")
+    dist, _ = dijkstra(graph, points)
+    for v in graph.vertices():
+        d = dist.get(v, float("inf"))
+        if d > alpha + 1e-9:
+            raise ValidationError(
+                f"covering violated at {v!r}: nearest net point at {d:.6f} > α={alpha:.6f}"
+            )
+    pts = sorted(points, key=repr)
+    for p in pts:
+        dp, _ = dijkstra(graph, p)
+        for q in pts:
+            if q == p:
+                continue
+            if dp.get(q, float("inf")) <= beta - 1e-9:
+                raise ValidationError(
+                    f"separation violated: d({p!r}, {q!r}) = {dp[q]:.6f} <= β={beta:.6f}"
+                )

@@ -1,0 +1,6 @@
+"""Sequential baselines the paper's distributed constructions are compared
+against in the benchmark harness."""
+
+from repro.baselines.kry_slt import kry_slt
+
+__all__ = ["kry_slt"]

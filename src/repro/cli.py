@@ -1,0 +1,216 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+spanner     build the §5 light spanner of a graph file (or a generated one)
+slt         build the §4 shallow-light tree
+net         build a §6 (α, β)-net
+doubling    build the §7 doubling-graph spanner
+estimate    run the §8 MST-weight estimation
+generate    write a workload graph to a file
+
+Graphs are read/written with :mod:`repro.io` (edge-list or ``.json`` by
+extension).  Every command prints a short quality report (measured
+stretch / lightness / rounds against the construction's guarantee).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from repro import io as graph_io
+from repro.analysis import (
+    lightness,
+    max_edge_stretch,
+    max_pairwise_stretch,
+    root_stretch,
+)
+from repro.core import (
+    build_net,
+    doubling_spanner,
+    estimate_mst_weight_via_nets,
+    light_spanner,
+    shallow_light_tree,
+)
+from repro.graphs import (
+    WeightedGraph,
+    erdos_renyi_graph,
+    grid_graph,
+    random_geometric_graph,
+)
+
+
+def _load(path: str) -> WeightedGraph:
+    if path.endswith(".json"):
+        return graph_io.read_json(path)
+    return graph_io.read_edge_list(path)
+
+
+def _save(graph: WeightedGraph, path: str) -> None:
+    if path.endswith(".json"):
+        graph_io.write_json(graph, path)
+    else:
+        graph_io.write_edge_list(graph, path)
+
+
+def _root_of(graph: WeightedGraph, requested: Optional[str]):
+    if requested is None:
+        return min(graph.vertices(), key=repr)
+    for v in graph.vertices():
+        if str(v) == requested:
+            return v
+    raise SystemExit(f"error: root {requested!r} is not a vertex")
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    if args.family == "er":
+        g = erdos_renyi_graph(args.n, args.p, seed=args.seed)
+    elif args.family == "geometric":
+        g = random_geometric_graph(args.n, seed=args.seed)
+    else:
+        side = max(2, int(args.n ** 0.5))
+        g = grid_graph(side, side, jitter=0.3, seed=args.seed)
+    _save(g, args.output)
+    print(f"wrote {g} to {args.output}")
+    return 0
+
+
+def cmd_spanner(args: argparse.Namespace) -> int:
+    g = _load(args.graph)
+    res = light_spanner(g, args.k, args.eps, random.Random(args.seed))
+    print(f"input      {g}")
+    print(f"spanner    {res.spanner}")
+    print(f"stretch    {max_edge_stretch(g, res.spanner):.4f}"
+          f"  (guaranteed <= {res.stretch_bound:.2f})")
+    print(f"lightness  {lightness(g, res.spanner):.2f}")
+    print(f"rounds     {res.rounds} (charged CONGEST rounds)")
+    if args.output:
+        _save(res.spanner, args.output)
+        print(f"wrote spanner to {args.output}")
+    return 0
+
+
+def cmd_slt(args: argparse.Namespace) -> int:
+    g = _load(args.graph)
+    root = _root_of(g, args.root)
+    res = shallow_light_tree(g, root, args.alpha)
+    print(f"input         {g}")
+    print(f"SLT           {res.tree}")
+    print(f"lightness     {lightness(g, res.tree):.3f}  (budget {args.alpha})")
+    print(f"root-stretch  {root_stretch(g, res.tree, root):.3f}"
+          f"  (guaranteed <= {res.stretch_bound:.1f})")
+    print(f"rounds        {res.rounds}")
+    if args.output:
+        _save(res.tree, args.output)
+        print(f"wrote tree to {args.output}")
+    return 0
+
+
+def cmd_net(args: argparse.Namespace) -> int:
+    g = _load(args.graph)
+    res = build_net(g, args.scale, args.delta, random.Random(args.seed))
+    print(f"input       {g}")
+    print(f"net         {len(res.points)} points "
+          f"(({res.alpha:.2f}, {res.beta:.2f})-net)")
+    print(f"iterations  {res.iterations}")
+    print(f"rounds      {res.rounds}")
+    print("points      " + " ".join(str(p) for p in sorted(res.points, key=repr)))
+    return 0
+
+
+def cmd_doubling(args: argparse.Namespace) -> int:
+    g = _load(args.graph)
+    res = doubling_spanner(
+        g, args.eps, random.Random(args.seed), net_method=args.net_method
+    )
+    print(f"input      {g}")
+    print(f"spanner    {res.spanner}")
+    print(f"stretch    {max_pairwise_stretch(g, res.spanner):.4f}"
+          f"  (guaranteed <= {res.stretch_bound:.2f})")
+    print(f"lightness  {lightness(g, res.spanner):.2f}")
+    print(f"rounds     {res.rounds}")
+    if args.output:
+        _save(res.spanner, args.output)
+        print(f"wrote spanner to {args.output}")
+    return 0
+
+
+def cmd_estimate(args: argparse.Namespace) -> int:
+    g = _load(args.graph)
+    est = estimate_mst_weight_via_nets(
+        g, net_method=args.net_method, rng=random.Random(args.seed)
+    )
+    print(f"input  {g}")
+    print(f"Psi    {est.psi:.1f}")
+    print(f"L      {est.mst_weight:.1f}  (exact, for reference)")
+    print(f"ratio  {est.approximation_ratio:.2f}"
+          f"  (guaranteed O(alpha log n), alpha = {est.alpha:.2f})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed light-network constructions "
+        "(Elkin–Filtser–Neiman, PODC 2020).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a workload graph")
+    p.add_argument("--family", choices=["er", "geometric", "grid"], default="er")
+    p.add_argument("--n", type=int, default=50)
+    p.add_argument("--p", type=float, default=0.2, help="ER edge probability")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("output", help="output file (.json or edge list)")
+    p.set_defaults(fn=cmd_generate)
+
+    p = sub.add_parser("spanner", help="§5 light spanner")
+    p.add_argument("graph")
+    p.add_argument("--k", type=int, default=2)
+    p.add_argument("--eps", type=float, default=0.25)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output")
+    p.set_defaults(fn=cmd_spanner)
+
+    p = sub.add_parser("slt", help="§4 shallow-light tree")
+    p.add_argument("graph")
+    p.add_argument("--alpha", type=float, default=5.0, help="lightness budget")
+    p.add_argument("--root", default=None)
+    p.add_argument("--output")
+    p.set_defaults(fn=cmd_slt)
+
+    p = sub.add_parser("net", help="§6 (α, β)-net")
+    p.add_argument("graph")
+    p.add_argument("--scale", type=float, required=True, help="Δ")
+    p.add_argument("--delta", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_net)
+
+    p = sub.add_parser("doubling", help="§7 doubling-graph spanner")
+    p.add_argument("graph")
+    p.add_argument("--eps", type=float, default=0.1)
+    p.add_argument("--net-method", choices=["greedy", "distributed"], default="greedy")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output")
+    p.set_defaults(fn=cmd_doubling)
+
+    p = sub.add_parser("estimate", help="§8 MST-weight estimation via nets")
+    p.add_argument("graph")
+    p.add_argument("--net-method", choices=["greedy", "distributed"], default="greedy")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_estimate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,90 @@
+"""Node-program interface for the CONGEST simulator.
+
+An algorithm is written from the point of view of a single node.  The
+simulator hands each node a :class:`NodeView` exposing only *local*
+knowledge — its id, its incident edges and their weights, and a private
+state dict — plus whatever global constants the algorithm was constructed
+with (n, k, ε, ... are legitimately global in the CONGEST model).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterator, List, Mapping, Tuple
+
+Vertex = Hashable
+
+
+class NodeView:
+    """Local view a node program gets: id, incident edges, private state.
+
+    Instances are created by :class:`~repro.congest.simulator.SyncNetwork`;
+    algorithms must not construct them directly.
+    """
+
+    __slots__ = ("id", "_incident", "state")
+
+    def __init__(self, uid: Vertex, incident: Dict[Vertex, float]) -> None:
+        self.id = uid
+        self._incident = incident
+        self.state: Dict[str, Any] = {}
+
+    @property
+    def neighbors(self) -> List[Vertex]:
+        """Ids of adjacent nodes (local knowledge: incident edges)."""
+        return list(self._incident)
+
+    def edge_weight(self, neighbor: Vertex) -> float:
+        """Weight of the incident edge to ``neighbor``."""
+        return self._incident[neighbor]
+
+    def incident_edges(self) -> Iterator[Tuple[Vertex, float]]:
+        """Iterate over ``(neighbor, weight)`` pairs."""
+        return iter(self._incident.items())
+
+    @property
+    def degree(self) -> int:
+        """Number of incident edges."""
+        return len(self._incident)
+
+    def __repr__(self) -> str:
+        return f"NodeView({self.id!r}, deg={self.degree})"
+
+
+# Outgoing messages: neighbor id -> payload (any picklable value whose word
+# count fits the network's per-message budget).
+Outbox = Dict[Vertex, Any]
+# Inbox: neighbor id -> payload received from that neighbor this round.
+Inbox = Mapping[Vertex, Any]
+
+
+class CongestAlgorithm:
+    """Base class for synchronous node programs.
+
+    Lifecycle per node:
+
+    1. ``setup(node)`` — once, before round 0; returns the round-0 outbox.
+    2. ``step(node, inbox)`` — every subsequent round; receives the messages
+       sent to this node in the previous round and returns the outbox.
+    3. ``is_done(node)`` — polled after every round; the simulation stops
+       when every node is done *and* no messages are in flight, or when the
+       algorithm's ``max_rounds`` elapse.
+    4. ``finish(node)`` — once, after the final round (collect outputs).
+
+    Subclasses override what they need; the defaults send nothing and
+    finish immediately.
+    """
+
+    def setup(self, node: NodeView) -> Outbox:
+        """Initialize local state; return messages for round 0."""
+        return {}
+
+    def step(self, node: NodeView, inbox: Inbox) -> Outbox:
+        """One synchronous round: consume the inbox, produce the outbox."""
+        return {}
+
+    def is_done(self, node: NodeView) -> bool:
+        """True when this node has terminated (default: immediately)."""
+        return True
+
+    def finish(self, node: NodeView) -> None:
+        """Hook called once when the simulation stops."""

@@ -1,0 +1,125 @@
+"""Keyed-max convergecast — the §5 case-1 "convergecast phase" primitive.
+
+In the §5 simulation every vertex holds, per cluster A, the best message
+``(s(A), m(A))`` it knows; the maxima must reach the root with each tree
+vertex forwarding only one message per cluster ("Each vertex v that
+received all messages from its children in τ for a cluster A, will only
+forward the one with maximum m(A)").
+
+The implementation streams entries **in ascending key order**: every
+node emits one ``(key, value-pair)`` per round; a node may emit key k
+once every child's stream has advanced past k (so all contributions for
+k have been merged), which pipelines the whole aggregate in
+``O(#keys + height)`` rounds.  A sentinel marks end-of-stream.
+
+Keys must be sortable and values comparable (ties broken by the full
+value tuple, deterministic).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.congest.algorithm import CongestAlgorithm, Inbox, NodeView, Outbox
+from repro.congest.bfs import BFSTree
+from repro.congest.simulator import SyncNetwork
+from repro.graphs.weighted_graph import WeightedGraph
+
+Vertex = Hashable
+
+#: end-of-stream marker (1 word)
+_SENTINEL = "$end"
+
+
+class KeyedMaxConvergecast(CongestAlgorithm):
+    """Gather, for every key, the maximum value over all vertices.
+
+    Parameters
+    ----------
+    tree:
+        The BFS tree τ to aggregate over.
+    inputs:
+        Per-vertex ``{key: value}`` contributions (values are compared
+        with ``>``; they may be tuples, e.g. ``(m(A), s(A))``).
+
+    State written: at the root, ``agg_result`` — the merged dict.
+    """
+
+    def __init__(self, tree: BFSTree, inputs: Dict[Vertex, Dict[Any, Any]]) -> None:
+        self.tree = tree
+        self.inputs = inputs
+        self._children = tree.children()
+
+    def setup(self, node: NodeView) -> Outbox:
+        node.state["agg_pending"] = dict(self.inputs.get(node.id, {}))
+        # smallest key each child's stream has NOT yet passed (None=done)
+        node.state["agg_child_front"] = {
+            c: False for c in self._children[node.id]
+        }  # False = stream not finished
+        node.state["agg_child_last"] = {c: None for c in self._children[node.id]}
+        node.state["agg_done"] = False
+        if node.id == self.tree.root:
+            node.state["agg_result"] = {}
+        return self._emit(node)
+
+    def _ready_key(self, node: NodeView) -> Optional[Any]:
+        """Smallest pending key all child streams have passed."""
+        pending = node.state["agg_pending"]
+        if not pending:
+            return None
+        k = min(pending, key=repr)
+        for c, finished in node.state["agg_child_front"].items():
+            if finished:
+                continue
+            last = node.state["agg_child_last"][c]
+            if last is None or repr(last) < repr(k):
+                return None  # child may still contribute to k
+        return k
+
+    def _emit(self, node: NodeView) -> Outbox:
+        if node.state["agg_done"]:
+            return {}
+        k = self._ready_key(node)
+        parent = self.tree.parent[node.id]
+        if k is not None:
+            value = node.state["agg_pending"].pop(k)
+            if node.id == self.tree.root:
+                node.state["agg_result"][k] = value
+                return self._emit(node)  # local: root drains freely
+            return {parent: (k, value)}
+        # done when nothing pending and every child finished
+        if not node.state["agg_pending"] and all(
+            node.state["agg_child_front"].values()
+        ):
+            node.state["agg_done"] = True
+            if parent is not None:
+                return {parent: _SENTINEL}
+        return {}
+
+    def step(self, node: NodeView, inbox: Inbox) -> Outbox:
+        for child, payload in sorted(inbox.items(), key=lambda kv: repr(kv[0])):
+            if payload == _SENTINEL:
+                node.state["agg_child_front"][child] = True
+                continue
+            k, value = payload
+            node.state["agg_child_last"][child] = k
+            pending = node.state["agg_pending"]
+            if k not in pending or value > pending[k]:
+                pending[k] = value
+        return self._emit(node)
+
+    def is_done(self, node: NodeView) -> bool:
+        return node.state.get("agg_done", False)
+
+
+def keyed_max_convergecast(
+    graph: WeightedGraph,
+    tree: BFSTree,
+    inputs: Dict[Vertex, Dict[Any, Any]],
+    network: Optional[SyncNetwork] = None,
+) -> Tuple[Dict[Any, Any], int]:
+    """Run :class:`KeyedMaxConvergecast`; return (merged dict, rounds)."""
+    net = network if network is not None else SyncNetwork(graph)
+    net.reset()
+    rounds = net.run(KeyedMaxConvergecast(tree, inputs))
+    return dict(net.view(tree.root).state["agg_result"]), rounds

@@ -1,0 +1,58 @@
+"""Round accounting for composed constructions.
+
+The paper's constructions (§3–§7) are built from a handful of primitives —
+fragment-local computations, Lemma-1 broadcasts, approximate SPTs, LE-list
+computations — each with a known round cost.  Rather than simulate every
+phase message-by-message (prohibitive in Python for the n where the scaling
+is visible), the composed algorithms *charge* each phase to a
+:class:`RoundLedger` at exactly the cost the paper analyses, computed from
+measured quantities (actual message counts, actual fragment hop-diameters,
+actual BFS depth), not from asymptotic formulas.
+
+The ledger keeps a per-phase breakdown so benchmarks can report where the
+rounds go (e.g. for the §5 spanner: MST + traversal vs. per-bucket
+simulation vs. broadcasts).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+
+class RoundLedger:
+    """Accumulates rounds charged by named phases."""
+
+    def __init__(self) -> None:
+        self._entries: List[Tuple[str, int]] = []
+
+    def charge(self, phase: str, rounds: int | float) -> int:
+        """Charge ``rounds`` (>= 0) to ``phase``; returns the charged amount."""
+        r = int(round(rounds))
+        if r < 0:
+            raise ValueError(f"cannot charge negative rounds: {rounds!r}")
+        self._entries.append((phase, r))
+        return r
+
+    def merge(self, other: "RoundLedger", prefix: str = "") -> None:
+        """Absorb another ledger's entries, optionally namespacing them."""
+        for phase, rounds in other._entries:
+            self._entries.append((prefix + phase, rounds))
+
+    @property
+    def total(self) -> int:
+        """Total rounds across all phases."""
+        return sum(r for _, r in self._entries)
+
+    def by_phase(self) -> Dict[str, int]:
+        """Rounds per phase name (summed over repeated charges)."""
+        out: Dict[str, int] = {}
+        for phase, rounds in self._entries:
+            out[phase] = out.get(phase, 0) + rounds
+        return out
+
+    def entries(self) -> List[Tuple[str, int]]:
+        """The raw charge log, in order."""
+        return list(self._entries)
+
+    def __repr__(self) -> str:
+        return f"RoundLedger(total={self.total}, phases={len(self.by_phase())})"

@@ -1,0 +1,56 @@
+"""Global communication primitives and their round costs (Lemma 1).
+
+Lemma 1 of the paper: if every vertex ``v`` holds ``m_v`` messages of O(1)
+words each, ``M = Σ m_v`` in total, then all vertices can receive all
+messages within ``O(M + D)`` rounds — standard pipelined broadcast on the
+BFS tree τ [Pel00].  Convergecast (all messages to the root) has the same
+cost, as does a pipelined aggregate (max/sum per key) when the number of
+distinct keys bounds the per-node forwarding load.
+
+Composed constructions call these helpers to compute the *exact* charge for
+each Lemma-1 invocation from measured quantities (actual message count M,
+actual BFS-tree height), then record it on their
+:class:`~repro.congest.ledger.RoundLedger`.
+"""
+
+from __future__ import annotations
+
+
+def broadcast_rounds(num_messages: int, tree_height: int) -> int:
+    """Rounds for all vertices to receive ``num_messages`` pipelined words.
+
+    Cost model: the messages stream down the BFS tree; latency is the tree
+    height, bandwidth one message per edge per round, so M + height rounds
+    (the additive constant of Lemma 1's O(·) is taken as 1 throughout —
+    uniform across all constructions, so relative comparisons are fair).
+    """
+    if num_messages < 0 or tree_height < 0:
+        raise ValueError("negative arguments")
+    return num_messages + tree_height
+
+
+def convergecast_rounds(num_messages: int, tree_height: int) -> int:
+    """Rounds to gather ``num_messages`` words at the root (same as broadcast)."""
+    return broadcast_rounds(num_messages, tree_height)
+
+
+def pipelined_aggregate_rounds(num_keys: int, tree_height: int) -> int:
+    """Rounds for a keyed aggregate (e.g. per-cluster max) convergecast.
+
+    Each tree node forwards at most one message per key (it merges
+    duplicates locally, as in the §5 convergecast phase), so the pipeline
+    drains in ``num_keys + height`` rounds.
+    """
+    return broadcast_rounds(num_keys, tree_height)
+
+
+def local_phase_rounds(max_hop_diameter: int) -> int:
+    """Rounds for a phase that runs inside fragments/intervals in parallel.
+
+    Fragment-local computations (tour lengths in §3.2, interval scans in
+    §4.1, intra-cluster convergecasts in §5 case 2) complete in as many
+    rounds as the largest fragment's hop-diameter.
+    """
+    if max_hop_diameter < 0:
+        raise ValueError("negative hop diameter")
+    return max(1, max_hop_diameter)

@@ -1,0 +1,185 @@
+"""Synchronous CONGEST network executor.
+
+:class:`SyncNetwork` runs a :class:`~repro.congest.algorithm.CongestAlgorithm`
+over a :class:`~repro.graphs.WeightedGraph`, enforcing the model's
+constraints:
+
+* **Locality** — each node program only ever sees its own
+  :class:`~repro.congest.algorithm.NodeView` and its inbox.
+* **Bandwidth** — each message must fit ``words_per_message`` machine words
+  (a word is O(log n) bits; the paper's footnote 8).  Oversized payloads
+  raise :class:`BandwidthViolation` — an algorithm bug, not a runtime
+  condition to catch.
+* **Synchrony** — messages sent in round ``r`` are delivered at the start
+  of round ``r + 1``; the round counter is the complexity measure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.congest.algorithm import CongestAlgorithm, NodeView
+from repro.graphs.weighted_graph import WeightedGraph
+
+Vertex = Hashable
+
+
+class BandwidthViolation(RuntimeError):
+    """A node tried to send a message exceeding the per-edge word budget."""
+
+
+def payload_words(payload: Any) -> int:
+    """Number of machine words a payload occupies on the wire.
+
+    Accounting rules (one word = O(log n) bits, enough for a vertex id or a
+    poly(n)-bounded weight, per the paper's footnote 8):
+
+    * ``None`` — 0 words (a bare "ping" still costs 1 via the minimum below);
+    * numbers, booleans, vertex ids (hashable scalars) — 1 word;
+    * strings — 1 word per 8 characters (tags like "join" are 1 word);
+    * tuples / lists / sets / dicts — sum over entries.
+
+    Every non-``None`` message costs at least 1 word.
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, bool) or isinstance(payload, (int, float)):
+        return 1
+    if isinstance(payload, str):
+        return max(1, (len(payload) + 7) // 8)
+    if isinstance(payload, (tuple, list, frozenset, set)):
+        return max(1, sum(payload_words(item) for item in payload))
+    if isinstance(payload, dict):
+        return max(1, sum(payload_words(k) + payload_words(v) for k, v in payload.items()))
+    return 1  # opaque scalar (e.g. an enum member): one word
+
+
+class SyncNetwork:
+    """Synchronous executor for CONGEST node programs.
+
+    Parameters
+    ----------
+    graph:
+        The communication graph (also the input graph — per the model,
+        every node knows its incident edges and their weights).
+    words_per_message:
+        Per-edge-per-round bandwidth in words.  The model allows O(log n)
+        bits ≈ O(1) words; the default of 4 accommodates the paper's
+        messages, which are constant-length tuples of ids and weights
+        (e.g. ``(s(x), m(x) - 1)`` in §5 or ``(x_iα, R_{x_iα})`` in §4.1).
+    strict_bandwidth:
+        When True (default), oversized messages raise
+        :class:`BandwidthViolation`.
+    """
+
+    def __init__(
+        self,
+        graph: WeightedGraph,
+        words_per_message: int = 4,
+        strict_bandwidth: bool = True,
+    ) -> None:
+        self.graph = graph
+        self.words_per_message = words_per_message
+        self.strict_bandwidth = strict_bandwidth
+        self.rounds_executed = 0
+        self.messages_sent = 0
+        self.words_sent = 0
+        self._views: Dict[Vertex, NodeView] = {
+            v: NodeView(v, dict(graph.neighbor_items(v))) for v in graph.vertices()
+        }
+
+    # ------------------------------------------------------------------
+    def view(self, v: Vertex) -> NodeView:
+        """The node view for vertex ``v`` (inspect state after a run)."""
+        return self._views[v]
+
+    def views(self) -> Dict[Vertex, NodeView]:
+        """All node views, keyed by vertex id."""
+        return dict(self._views)
+
+    def reset(self) -> None:
+        """Clear node state and counters (reuse the network for a new run)."""
+        self.rounds_executed = 0
+        self.messages_sent = 0
+        self.words_sent = 0
+        for view in self._views.values():
+            view.state = {}
+
+    # ------------------------------------------------------------------
+    def _check_outbox(self, sender: Vertex, outbox: Dict[Vertex, Any]) -> None:
+        view = self._views[sender]
+        for dst, payload in outbox.items():
+            if dst not in view._incident:
+                raise ValueError(
+                    f"node {sender!r} tried to message non-neighbor {dst!r}"
+                )
+            words = payload_words(payload)
+            if self.strict_bandwidth and words > self.words_per_message:
+                raise BandwidthViolation(
+                    f"node {sender!r} -> {dst!r}: payload {payload!r} is "
+                    f"{words} words, budget is {self.words_per_message}"
+                )
+            self.messages_sent += 1
+            self.words_sent += words
+
+    def run(
+        self,
+        algorithm: CongestAlgorithm,
+        max_rounds: int = 10_000,
+        quiesce: bool = True,
+    ) -> int:
+        """Execute ``algorithm`` until termination; return rounds executed.
+
+        Termination: all nodes report ``is_done`` and no messages are in
+        flight (when ``quiesce`` is True, the default), or ``max_rounds``
+        elapses — whichever comes first.
+
+        Raises
+        ------
+        RuntimeError
+            If ``max_rounds`` elapses before termination (runaway
+            algorithms are bugs; the paper's algorithms all have explicit
+            round bounds).
+        """
+        inflight: Dict[Vertex, Dict[Vertex, Any]] = {v: {} for v in self._views}
+
+        # Round 0: setup.
+        any_message = False
+        for v, view in self._views.items():
+            outbox = algorithm.setup(view) or {}
+            self._check_outbox(v, outbox)
+            for dst, payload in outbox.items():
+                inflight[dst][v] = payload
+                any_message = True
+        self.rounds_executed = 1
+
+        while True:
+            all_done = all(algorithm.is_done(view) for view in self._views.values())
+            if quiesce and all_done and not any_message:
+                break
+            if self.rounds_executed >= max_rounds:
+                if all_done and not any_message:
+                    break
+                raise RuntimeError(
+                    f"algorithm did not terminate within {max_rounds} rounds"
+                )
+            delivery = inflight
+            inflight = {v: {} for v in self._views}
+            any_message = False
+            for v, view in self._views.items():
+                outbox = algorithm.step(view, delivery[v]) or {}
+                self._check_outbox(v, outbox)
+                for dst, payload in outbox.items():
+                    inflight[dst][v] = payload
+                    any_message = True
+            self.rounds_executed += 1
+
+        for view in self._views.values():
+            algorithm.finish(view)
+        return self.rounds_executed
+
+    def __repr__(self) -> str:
+        return (
+            f"SyncNetwork(n={self.graph.n}, m={self.graph.m}, "
+            f"rounds={self.rounds_executed}, msgs={self.messages_sent})"
+        )

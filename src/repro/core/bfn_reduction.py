@@ -1,0 +1,64 @@
+"""The [BFN16] lightness reduction (Lemma 5 of the paper, used in §4.4).
+
+Lemma 5: from an algorithm that builds a spanner with lightness ℓ and
+distortion t(u, v), one gets — for any 0 < δ < 1 — a spanner with lightness
+``1 + δℓ`` and distortion ``t(u, v)/δ``.
+
+The reduction "works by first changing the edge weights, and then
+executing the original algorithm.  To compute the new weight of an edge
+e ∈ E, we only need to know the parameter δ, the original weight w(e) and
+whether e belongs [to] the MST" — which is why it ports to CONGEST
+(every vertex knows its incident MST edges after the MST construction).
+
+Concretely: ``w'(e) = w(e)`` for MST edges, ``w'(e) = w(e)/δ`` otherwise.
+Then
+
+* the MST is unchanged (non-tree edges only got heavier — cycle property);
+* lightness: ``w(H) = w(H ∩ T) + δ·Σ_{e ∈ H∖T} w'(e)
+  <= w(T) + δ·ℓ·w(T)``;
+* distortion: ``d_{H,w} <= d_{H,w'} <= t·d_{G,w'} <= (t/δ)·d_{G,w}``
+  (each edge's weight grows by a factor <= 1/δ).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.graphs.weighted_graph import WeightedGraph
+from repro.mst.kruskal import kruskal_mst
+
+
+def bfn_reweighted_graph(
+    graph: WeightedGraph, delta: float, mst: Optional[WeightedGraph] = None
+) -> WeightedGraph:
+    """The reduction's reweighted graph: MST edges keep w, others get w/δ.
+
+    Parameters
+    ----------
+    delta:
+        The reduction parameter, in (0, 1).
+    mst:
+        The (deterministic) MST of ``graph``; recomputed if omitted.
+
+    Raises
+    ------
+    ValueError
+        If ``delta`` is outside (0, 1).
+    """
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    tree = mst if mst is not None else kruskal_mst(graph)
+
+    def reweight(u, v, w):
+        return w if tree.has_edge(u, v) else w / delta
+
+    return graph.reweighted(reweight)
+
+
+def bfn_bounds(
+    base_lightness: float, base_distortion: float, delta: float
+) -> Tuple[float, float]:
+    """Lemma 5's output guarantees: (lightness 1 + δℓ, distortion t/δ)."""
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    return 1.0 + delta * base_lightness, base_distortion / delta

@@ -1,0 +1,224 @@
+"""Light (1+ε)-spanners for doubling graphs — §7 (Theorem 5).
+
+For every distance scale ``Δ = (1+ε)^i`` up to the MST weight:
+
+1. build a net whose covering radius is ``ε·Δ/2`` (via Theorem 3 with
+   δ = 1/2, i.e. a ``(εΔ/2, 2εΔ/9)``-net — our net parametrization with
+   ``Δ_net = εΔ/3``), and
+2. from every net point run a ``2Δ``-bounded (1+ε)-approximate
+   shortest-path exploration, adding to the spanner the *actual path*
+   (path-reporting, per the [EN16] hopsets) to every other net point
+   discovered within the bound.
+
+Guarantees: stretch ``1 + 30ε`` for ε < 1/8 (the paper's induction with
+its constant c = 30), lightness ``ε^{−O(ddim)}·log n`` by the packing
+property (Lemma 6) plus Claim 7, sparsity ``n·ε^{−O(ddim)}·log n``, and
+``(√n + D)·ε^{−Õ(√log n + ddim)}`` rounds — each scale charges the net
+construction, the [EN16] hopset, and the overlapped bounded explorations.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.congest.bfs import build_bfs_tree
+from repro.congest.ledger import RoundLedger
+from repro.core.nets import build_net, greedy_net
+from repro.graphs.weighted_graph import Vertex, WeightedGraph
+from repro.hopsets.hopset import bounded_exploration_cost, en16_round_cost
+from repro.mst.kruskal import kruskal_mst
+from repro.spt.approx_spt import _round_up_weight
+
+
+@dataclass
+class ScaleStats:
+    """Per-scale diagnostics for the benchmarks."""
+
+    index: int
+    scale: float  # Δ = (1+ε)^i
+    net_size: int
+    paths_added: int
+    max_overlap: int  # max explorations any vertex participated in
+    rounds: int
+
+
+@dataclass
+class DoublingSpannerResult:
+    """Output of :func:`doubling_spanner`.
+
+    Attributes
+    ----------
+    spanner:
+        The (1+O(ε))-spanner (a subgraph: hopset paths are expanded).
+    stretch_bound:
+        The guarantee 1 + 30ε (paper's constant, valid for ε < 1/8).
+    scales:
+        Per-scale statistics.
+    ledger:
+        Round accounting (Theorem 5 target:
+        (√n + D)·ε^{−Õ(√log n + ddim)}).
+    """
+
+    spanner: WeightedGraph
+    eps: float
+    stretch_bound: float
+    scales: List[ScaleStats]
+    ledger: RoundLedger = field(default_factory=RoundLedger)
+
+    @property
+    def rounds(self) -> int:
+        """Total charged CONGEST rounds."""
+        return self.ledger.total
+
+
+def _bounded_exploration(
+    graph: WeightedGraph, source: Vertex, radius: float, eps: float
+) -> Tuple[Dict[Vertex, float], Dict[Vertex, Optional[Vertex]]]:
+    """Single-source ``radius``-bounded (1+ε)-approximate exploration.
+
+    Priorities use weights rounded up to powers of (1+ε) (the same
+    concrete approximation as everywhere in the library); pruning uses
+    true accumulated weight so reported paths genuinely fit the bound.
+    """
+    import heapq
+
+    rounded: Dict[Vertex, float] = {source: 0.0}
+    true: Dict[Vertex, float] = {source: 0.0}
+    parent: Dict[Vertex, Optional[Vertex]] = {source: None}
+    heap: List[Tuple[float, int, Vertex]] = [(0.0, 0, source)]
+    counter = 1
+    settled = set()
+    while heap:
+        d, _, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled.add(u)
+        for v, w in graph.neighbor_items(u):
+            nd = d + (_round_up_weight(w, eps) if eps > 0 else w)
+            nt = true[u] + w
+            if nt <= radius and nd < rounded.get(v, float("inf")):
+                rounded[v] = nd
+                true[v] = nt
+                parent[v] = u
+                heapq.heappush(heap, (nd, counter, v))
+                counter += 1
+    return true, parent
+
+
+def doubling_spanner(
+    graph: WeightedGraph,
+    eps: float,
+    rng: Optional[random.Random] = None,
+    root: Optional[Vertex] = None,
+    net_method: str = "distributed",
+) -> DoublingSpannerResult:
+    """Build the §7 light (1 + 30ε)-spanner.
+
+    Parameters
+    ----------
+    eps:
+        Scale parameter, in (0, 1/8) for the paper's stretch constant.
+    net_method:
+        ``"distributed"`` — the Theorem-3 net construction (full round
+        accounting); ``"greedy"`` — the sequential greedy net (same
+        covering/separation guarantees; use for larger experiment sizes,
+        net rounds then charged at the Theorem-3 formula directly).
+
+    Raises
+    ------
+    ValueError
+        On invalid parameters.
+    """
+    if not 0 < eps < 0.125:
+        raise ValueError(f"eps must be in (0, 1/8), got {eps}")
+    if net_method not in ("distributed", "greedy"):
+        raise ValueError(f"unknown net_method {net_method!r}")
+    rng = rng if rng is not None else random.Random()
+    n = graph.n
+    if root is None:
+        root = min(graph.vertices(), key=repr)
+
+    ledger = RoundLedger()
+    bfs = build_bfs_tree(graph, root)
+    ledger.charge("bfs-tree", bfs.rounds)
+    height = bfs.height
+
+    mst_weight = kruskal_mst(graph).total_weight()
+    spanner = WeightedGraph(graph.vertices())
+    scales: List[ScaleStats] = []
+
+    base = 1.0 + eps
+    num_scales = max(1, math.ceil(math.log(max(mst_weight, base), base))) + 1
+    delta = 0.5  # the paper's "e.g., we can take δ = 1/2"
+    skeleton_size = max(1, math.ceil(math.sqrt(n * max(math.log(n + 1), 1.0))))
+    beta = max(1, math.ceil(math.log2(n + 1)))  # charged [EN16] hopbound
+
+    for i in range(num_scales):
+        scale = base ** i
+        scale_ledger = RoundLedger()
+
+        # --- net with covering radius εΔ/2 (Δ_net = εΔ/3, δ = 1/2) ---
+        net_param = eps * scale / 3.0
+        if net_method == "distributed":
+            net_res = build_net(graph, net_param, delta, rng, root=root)
+            net_points: Set[Vertex] = net_res.points
+            scale_ledger.merge(net_res.ledger, prefix=f"scale{i}:net:")
+        else:
+            net_points = greedy_net(graph, net_param)
+            from repro.lelists.le_lists import fl16_round_cost
+
+            iters = math.ceil(math.log2(n + 2))
+            scale_ledger.charge(
+                f"scale{i}:net", iters * fl16_round_cost(n, height, delta)
+            )
+
+        # --- [EN16] hopset for this scale's bounded explorations ---
+        scale_ledger.charge(f"scale{i}:hopset", en16_round_cost(n, height, beta))
+
+        # --- 2Δ-bounded explorations from every net point ---
+        radius = 2.0 * scale
+        participation: Dict[Vertex, int] = {}
+        paths_added = 0
+        for u in sorted(net_points, key=repr):
+            true_dist, parent = _bounded_exploration(graph, u, radius, eps)
+            for v in true_dist:
+                participation[v] = participation.get(v, 0) + 1
+            for v in net_points:
+                if v == u or repr(v) <= repr(u) or v not in true_dist:
+                    continue
+                # add the reported path to the spanner
+                node = v
+                while parent[node] is not None:
+                    prev = parent[node]
+                    if not spanner.has_edge(prev, node):
+                        spanner.add_edge(prev, node, graph.weight(prev, node))
+                    node = prev
+                paths_added += 1
+        max_overlap = max(participation.values(), default=0)
+        scale_ledger.charge(
+            f"scale{i}:explorations",
+            bounded_exploration_cost(n, height, beta, max_overlap, skeleton_size),
+        )
+
+        ledger.merge(scale_ledger)
+        scales.append(
+            ScaleStats(
+                index=i,
+                scale=scale,
+                net_size=len(net_points),
+                paths_added=paths_added,
+                max_overlap=max_overlap,
+                rounds=scale_ledger.total,
+            )
+        )
+
+    return DoublingSpannerResult(
+        spanner=spanner,
+        eps=eps,
+        stretch_bound=1.0 + 30.0 * eps,
+        scales=scales,
+        ledger=ledger,
+    )

@@ -1,0 +1,190 @@
+"""Hierarchical nets — the per-scale net family underlying §7.
+
+The doubling spanner computes an independent net per distance scale
+``Δ_i = (1+ε)^i``.  This module packages that family as a first-class
+object, :class:`NetHierarchy`, with the two properties downstream users
+of net hierarchies (spanners, distance labelings, routing schemes) rely
+on:
+
+* **per-scale validity** — level i is covering/separated at its scale;
+* **nestedness (optional)** — with ``nested=True``, the level-(i+1) net
+  points are a subset of level i's (built by re-netting the previous
+  level's points), giving the navigating-net / net-tree structure of
+  [HM06] that the paper cites.
+
+Both the Theorem-3 distributed construction and the greedy baseline can
+supply the per-level nets; round charges accumulate in a single ledger.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set
+
+from repro.congest.ledger import RoundLedger
+from repro.core.nets import build_net, greedy_net
+from repro.graphs.shortest_paths import dijkstra
+from repro.graphs.weighted_graph import Vertex, WeightedGraph
+
+
+@dataclass
+class NetLevel:
+    """One level of the hierarchy.
+
+    Attributes
+    ----------
+    index:
+        Level number i (scale ``base^i``).
+    scale:
+        The level's scale Δ_i.
+    points:
+        The net points.
+    alpha / beta:
+        Guaranteed covering radius and separation at this level.
+    """
+
+    index: int
+    scale: float
+    points: Set[Vertex]
+    alpha: float
+    beta: float
+
+
+@dataclass
+class NetHierarchy:
+    """Nets at every scale ``base^0 .. base^levels``.
+
+    Attributes
+    ----------
+    levels:
+        The per-scale nets, coarsest last.
+    nested:
+        Whether level i+1 ⊆ level i holds by construction.
+    ledger:
+        Accumulated round charges of the per-level constructions.
+    """
+
+    graph: WeightedGraph
+    base: float
+    levels: List[NetLevel]
+    nested: bool
+    ledger: RoundLedger = field(default_factory=RoundLedger)
+
+    def level(self, i: int) -> NetLevel:
+        """The i-th level (raises IndexError past the top)."""
+        return self.levels[i]
+
+    @property
+    def num_levels(self) -> int:
+        """Number of levels in the hierarchy."""
+        return len(self.levels)
+
+    def level_for_distance(self, d: float) -> NetLevel:
+        """The coarsest level whose scale is still >= d (clamped to top)."""
+        for lvl in self.levels:
+            if lvl.scale >= d:
+                return lvl
+        return self.levels[-1]
+
+    def nearest_net_point(self, v: Vertex, i: int) -> Vertex:
+        """The closest level-i net point to v (covering guarantees one
+        within ``levels[i].alpha``)."""
+        best, best_d = None, float("inf")
+        for p in self.levels[i].points:
+            dp, _ = dijkstra(self.graph, p)
+            d = dp.get(v, float("inf"))
+            if d < best_d:
+                best, best_d = p, d
+        assert best is not None
+        return best
+
+
+def build_net_hierarchy(
+    graph: WeightedGraph,
+    eps: float,
+    rng: Optional[random.Random] = None,
+    method: str = "greedy",
+    delta: float = 0.5,
+    nested: bool = True,
+    max_scale: Optional[float] = None,
+) -> NetHierarchy:
+    """Build nets at every scale ``(1+ε)^i`` up to ``max_scale``.
+
+    Parameters
+    ----------
+    eps:
+        Scale base is 1+ε (matching the §7 scale ladder).
+    method:
+        ``"greedy"`` (sequential (r, r)-nets) or ``"distributed"``
+        (Theorem 3, ((1+δ)Δ, Δ/(1+δ))-nets with round accounting).
+    nested:
+        Build level i+1 by netting level i's points (net-tree
+        structure); with ``False`` every level nets the full vertex set
+        independently, as the §7 spanner does.
+    max_scale:
+        Top scale; defaults to the MST weight (no pair is farther).
+
+    Raises
+    ------
+    ValueError
+        On invalid parameters.
+    """
+    if eps <= 0:
+        raise ValueError(f"eps must be positive, got {eps}")
+    if method not in ("greedy", "distributed"):
+        raise ValueError(f"unknown method {method!r}")
+    rng = rng if rng is not None else random.Random()
+
+    from repro.mst.kruskal import kruskal_mst
+
+    if max_scale is None:
+        max_scale = max(kruskal_mst(graph).total_weight(), 1.0 + eps)
+    base = 1.0 + eps
+    num_levels = max(1, math.ceil(math.log(max_scale, base))) + 1
+
+    ledger = RoundLedger()
+    levels: List[NetLevel] = []
+    current: Set[Vertex] = set(graph.vertices())
+    for i in range(num_levels):
+        scale = base ** i
+        if method == "distributed":
+            res = build_net(graph, scale, delta, rng)
+            points = res.points
+            alpha, beta = res.alpha, res.beta
+            ledger.merge(res.ledger, prefix=f"level{i}:")
+        else:
+            universe = current if nested else set(graph.vertices())
+            points = _greedy_net_of(graph, universe, scale)
+            alpha, beta = scale, scale
+            ledger.charge(f"level{i}:greedy-net", 1)
+        if nested and method == "greedy":
+            current = points
+        levels.append(
+            NetLevel(index=i, scale=scale, points=points, alpha=alpha, beta=beta)
+        )
+
+    return NetHierarchy(
+        graph=graph, base=base, levels=levels,
+        nested=(nested and method == "greedy"), ledger=ledger,
+    )
+
+
+def _greedy_net_of(graph: WeightedGraph, universe: Set[Vertex], radius: float) -> Set[Vertex]:
+    """Greedy (r, r)-net of ``universe`` w.r.t. graph distances.
+
+    Covering holds for the universe (and transitively for V when the
+    universe is the previous, finer level: covering radii telescope as a
+    geometric series).
+    """
+    net: List[Vertex] = []
+    covered: Dict[Vertex, float] = {}
+    for v in sorted(universe, key=repr):
+        if covered.get(v, float("inf")) > radius:
+            net.append(v)
+            dist, _ = dijkstra(graph, v)
+            for u, d in dist.items():
+                if d < covered.get(u, float("inf")):
+                    covered[u] = d
+    return set(net)

@@ -1,0 +1,86 @@
+"""Hard-instance family in the style of Das Sarma et al. [SHK+12] (§8).
+
+The paper's lower bounds (Theorems 6 and 7) reduce light-spanner / SLT /
+net construction to approximating the MST weight, which on the [SHK+12]
+family needs Ω̃(√n) rounds.  The family is, in essence, a long path of
+Θ(√n) "highways" attached to Θ(√n)-sized subtrees, rigged so that global
+weight information must cross the whole path.
+
+The only structural property §8 actually uses is *polynomial diameter*
+(weighted aspect ratio Λ = poly(n)) — see the proof of Theorem 7.  This
+generator reproduces the shape: a base path of length ``p`` with ``p``
+pendant spikes, plus a small number of long-range "highway" edges that give
+it small hop-diameter while keeping the weighted diameter polynomial, and a
+planted weight parameter that an MST-weight approximation must recover.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional, Tuple
+
+from repro.graphs.weighted_graph import WeightedGraph
+
+
+def das_sarma_hard_graph(
+    n: int,
+    planted_weight: float = 1.0,
+    seed: Optional[int] = None,
+) -> Tuple[WeightedGraph, float]:
+    """Build a hard instance on ~``n`` vertices.
+
+    Structure: a path ``P`` of ``p = floor(sqrt(n))`` *column heads*, each
+    head carrying a path of ``p`` spike vertices (so ``~n`` vertices total).
+    Spike edges have weight 1.  Path edges have weight ``planted_weight``
+    for the second half of the path and 1 for the first half, so the MST
+    weight is ``Θ(n) + Θ(sqrt(n)) * planted_weight`` — any polynomial
+    approximation of ``w(MST)`` distinguishes ``planted_weight = 1`` from
+    ``planted_weight = n^2``, which is the crux of the [SHK+12] reduction.
+    A binary-tree overlay of zero-cost-to-hop "highway" edges (heavy weight,
+    never in the MST) keeps the hop-diameter ``O(log n)``.
+
+    Returns
+    -------
+    (graph, mst_weight):
+        The instance and its exact MST weight (for assertions).
+    """
+    rng = random.Random(seed)
+    p = max(2, int(math.isqrt(n)))
+    g = WeightedGraph()
+
+    heads = list(range(p))
+    for h in heads:
+        g.add_vertex(h)
+    next_id = p
+
+    mst_weight = 0.0
+    # the base path of heads
+    for i in range(p - 1):
+        w = 1.0 if i < p // 2 else float(planted_weight)
+        g.add_edge(heads[i], heads[i + 1], w)
+        mst_weight += w
+
+    # spikes: a path of p light vertices under each head
+    for h in heads:
+        prev = h
+        for _ in range(p):
+            g.add_vertex(next_id)
+            g.add_edge(prev, next_id, 1.0)
+            mst_weight += 1.0
+            prev = next_id
+            next_id += 1
+
+    # highway overlay on the heads: binary-lifting shortcuts with heavy
+    # weight (heavier than any path between their endpoints, so they never
+    # enter the MST) — they exist purely to shrink the hop-diameter.
+    heavy = (p + 1) * max(1.0, float(planted_weight)) * 4
+    span = 2
+    while span < p:
+        for i in range(0, p - span, span):
+            g.add_edge(heads[i], heads[i + span], heavy * (1 + rng.random()))
+        span *= 2
+    if p > 2:
+        g.add_edge(heads[0], heads[p - 1], heavy * (1 + rng.random()))
+
+    return g, mst_weight

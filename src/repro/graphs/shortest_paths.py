@@ -1,0 +1,205 @@
+"""Sequential shortest-path routines (ground truth for the simulator).
+
+These are the *centralized* references the test-suite and the analysis
+package use to validate the distributed constructions: exact Dijkstra,
+distance-bounded Dijkstra (needed by the §7 doubling spanner, which runs
+2Δ-bounded explorations), hop-ignoring BFS (the paper's hop-diameter ``D``),
+and small-graph all-pairs distances.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.graphs.weighted_graph import Vertex, WeightedGraph
+
+INF = float("inf")
+
+
+def dijkstra(
+    graph: WeightedGraph,
+    sources: Iterable[Vertex] | Vertex,
+    weight_override: Optional[Dict[Tuple[Vertex, Vertex], float]] = None,
+) -> Tuple[Dict[Vertex, float], Dict[Vertex, Optional[Vertex]]]:
+    """Multi-source Dijkstra.
+
+    Parameters
+    ----------
+    graph:
+        The weighted graph.
+    sources:
+        A single vertex or an iterable of source vertices (all at
+        distance 0).
+    weight_override:
+        Optional map from canonical edges to replacement weights.
+
+    Returns
+    -------
+    (dist, parent):
+        ``dist[v]`` is the distance from the nearest source (vertices
+        unreachable from every source are absent); ``parent[v]`` is the
+        predecessor on a shortest path (``None`` for sources).
+    """
+    try:
+        if graph.has_vertex(sources):  # single-vertex call
+            sources = [sources]
+    except TypeError:
+        pass  # unhashable => definitely an iterable of sources
+    dist: Dict[Vertex, float] = {}
+    parent: Dict[Vertex, Optional[Vertex]] = {}
+    heap: List[Tuple[float, int, Vertex]] = []
+    counter = 0
+    for s in sources:
+        dist[s] = 0.0
+        parent[s] = None
+        heapq.heappush(heap, (0.0, counter, s))
+        counter += 1
+    settled = set()
+    while heap:
+        d, _, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled.add(u)
+        for v, w in graph.neighbor_items(u):
+            if weight_override is not None:
+                key = (u, v) if repr(u) <= repr(v) else (v, u)
+                w = weight_override.get(key, w)
+            nd = d + w
+            if nd < dist.get(v, INF):
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd, counter, v))
+                counter += 1
+    return dist, parent
+
+
+def dijkstra_path(
+    graph: WeightedGraph, source: Vertex, target: Vertex
+) -> Tuple[float, List[Vertex]]:
+    """Distance and one shortest path from ``source`` to ``target``.
+
+    Raises
+    ------
+    ValueError
+        If ``target`` is unreachable from ``source``.
+    """
+    dist, parent = dijkstra(graph, source)
+    if target not in dist:
+        raise ValueError(f"{target!r} unreachable from {source!r}")
+    path = [target]
+    while parent[path[-1]] is not None:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return dist[target], path
+
+
+def bounded_dijkstra(
+    graph: WeightedGraph, source: Vertex, radius: float
+) -> Tuple[Dict[Vertex, float], Dict[Vertex, Optional[Vertex]]]:
+    """Dijkstra restricted to the ball ``B_G(source, radius)``.
+
+    Only vertices at distance ``<= radius`` appear in the output.  This is
+    the sequential analogue of the Δ-bounded explorations of §7.
+    """
+    dist: Dict[Vertex, float] = {source: 0.0}
+    parent: Dict[Vertex, Optional[Vertex]] = {source: None}
+    heap: List[Tuple[float, int, Vertex]] = [(0.0, 0, source)]
+    counter = 1
+    settled = set()
+    while heap:
+        d, _, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled.add(u)
+        for v, w in graph.neighbor_items(u):
+            nd = d + w
+            if nd <= radius and nd < dist.get(v, INF):
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd, counter, v))
+                counter += 1
+    return dist, parent
+
+
+def all_pairs_shortest_paths(graph: WeightedGraph) -> Dict[Vertex, Dict[Vertex, float]]:
+    """All-pairs distances by repeated Dijkstra (fine for test-sized graphs)."""
+    return {v: dijkstra(graph, v)[0] for v in graph.vertices()}
+
+
+def path_weight(graph: WeightedGraph, path: List[Vertex]) -> float:
+    """Total weight of a vertex path; validates that each hop is an edge."""
+    total = 0.0
+    for u, v in zip(path, path[1:]):
+        total += graph.weight(u, v)
+    return total
+
+
+def eccentricity(graph: WeightedGraph, v: Vertex) -> float:
+    """Weighted eccentricity of ``v`` (max distance to any vertex)."""
+    dist, _ = dijkstra(graph, v)
+    if len(dist) != graph.n:
+        return INF
+    return max(dist.values())
+
+
+def hop_distances(graph: WeightedGraph, source: Vertex) -> Dict[Vertex, int]:
+    """Unweighted (hop) distances from ``source`` via BFS."""
+    dist = {source: 0}
+    frontier = [source]
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for v in graph.neighbors(u):
+                if v not in dist:
+                    dist[v] = dist[u] + 1
+                    nxt.append(v)
+        frontier = nxt
+    return dist
+
+
+def hop_diameter(graph: WeightedGraph) -> int:
+    """The paper's ``D``: diameter of the underlying unweighted graph.
+
+    Computed exactly by BFS from every vertex; intended for the moderate
+    graph sizes used in tests and benchmarks.
+
+    Raises
+    ------
+    ValueError
+        If the graph is disconnected (hop diameter undefined).
+    """
+    if graph.n == 0:
+        return 0
+    best = 0
+    for v in graph.vertices():
+        dist = hop_distances(graph, v)
+        if len(dist) != graph.n:
+            raise ValueError("hop diameter undefined: graph is disconnected")
+        best = max(best, max(dist.values()))
+    return best
+
+
+def weak_diameter(graph: WeightedGraph, cluster: Iterable[Vertex]) -> float:
+    """Weak diameter of a cluster: max d_G(u, v) over u, v in the cluster (§2)."""
+    cluster = list(cluster)
+    best = 0.0
+    for v in cluster:
+        dist, _ = dijkstra(graph, v)
+        for u in cluster:
+            if u not in dist:
+                return INF
+            best = max(best, dist[u])
+    return best
+
+
+def strong_diameter(graph: WeightedGraph, cluster: Iterable[Vertex]) -> float:
+    """Strong diameter: max distance inside the induced subgraph ``G[C]`` (§2)."""
+    sub = graph.subgraph(cluster)
+    best = 0.0
+    for v in sub.vertices():
+        dist, _ = dijkstra(sub, v)
+        if len(dist) != sub.n:
+            return INF
+        best = max(best, max(dist.values()))
+    return best

@@ -1,0 +1,19 @@
+"""Path-reporting hopsets over a random skeleton ([EN16] stand-in, §7)."""
+
+from repro.hopsets.skeleton import Skeleton, build_skeleton, hop_bounded_distances
+from repro.hopsets.hopset import (
+    PathReportingHopset,
+    build_hopset,
+    en16_round_cost,
+    bounded_exploration_cost,
+)
+
+__all__ = [
+    "Skeleton",
+    "build_skeleton",
+    "hop_bounded_distances",
+    "PathReportingHopset",
+    "build_hopset",
+    "en16_round_cost",
+    "bounded_exploration_cost",
+]

@@ -1,0 +1,154 @@
+"""Path-reporting hopset for the skeleton graph ([EN16] stand-in).
+
+A (β, ε)-hopset F for G′ is a set of virtual edges (not reducing
+distances) such that every pair has a (1+ε)-approximate shortest path with
+at most β edges in G′ ∪ F.  [EN16] build one of size O(√n · β²) in
+O((√n + D) · β²) rounds, *path-reporting*: each hopset edge carries an
+actual G-path of exactly its weight.
+
+Our concrete construction (DESIGN.md substitution 5): sample a pivot set
+T ⊆ V′ of size ⌈√|V′|⌉ and add an exact-distance clique on T (weights =
+d_{G′}(·,·), witness paths by concatenating skeleton witness paths).  This
+is a genuine (β, 0)-hopset with β = O(√|V′| · log |V′|) w.h.p. — every
+G′-shortest path of more than β′ hops contains a pivot w.h.p., after which
+one clique edge bridges to the last pivot.  It is weaker than [EN16]'s
+β = no(1) — the round *charges* use the [EN16] formula per the
+substitution — but it is a real, verifiable hopset object with real paths,
+which is what §7 needs functionally.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.graphs.shortest_paths import dijkstra
+from repro.graphs.weighted_graph import Vertex, WeightedGraph
+from repro.hopsets.skeleton import Skeleton
+
+INF = float("inf")
+
+
+def en16_round_cost(n: int, height: int, beta: int) -> int:
+    """Charged rounds for building an [EN16] hopset: O((√n + D)·β²)."""
+    sqrt_n = math.isqrt(max(n - 1, 0)) + 1
+    return (sqrt_n + height) * beta * beta
+
+
+def bounded_exploration_cost(
+    n: int, height: int, beta: int, overlap: int, skeleton_size: int
+) -> int:
+    """Charged rounds for parallel Δ-bounded multi-source explorations (§7.2).
+
+    One Bellman–Ford iteration = 2√n rounds of edge relaxation plus a
+    Lemma-1 broadcast of the √(n ln n) skeleton estimates; β iterations,
+    multiplied by the measured source-overlap factor (the max number of
+    explorations any vertex participates in — bounded by the packing
+    property, Lemma 6).
+    """
+    sqrt_n = math.isqrt(max(n - 1, 0)) + 1
+    per_iteration = 2 * sqrt_n + skeleton_size + height
+    return beta * per_iteration * max(1, overlap)
+
+
+@dataclass
+class PathReportingHopset:
+    """The hopset F plus witness G-paths.
+
+    Attributes
+    ----------
+    skeleton:
+        The underlying skeleton G′.
+    pivots:
+        The pivot set T the clique is built on.
+    beta:
+        The hop bound the object is charged/validated at.
+    edges:
+        ``(u, v) → weight`` (canonical order), weights = exact d_{G′}.
+    paths:
+        Witness G-path per hopset edge.
+    """
+
+    skeleton: Skeleton
+    pivots: Set[Vertex]
+    beta: int
+    edges: Dict[Tuple[Vertex, Vertex], float] = field(default_factory=dict)
+    paths: Dict[Tuple[Vertex, Vertex], List[Vertex]] = field(default_factory=dict)
+
+    def path(self, u: Vertex, v: Vertex) -> List[Vertex]:
+        """Witness G-path for hopset edge (u, v)."""
+        key = (u, v) if repr(u) <= repr(v) else (v, u)
+        stored = self.paths[key]
+        return stored if stored[0] == u else list(reversed(stored))
+
+    def augmented_graph(self) -> WeightedGraph:
+        """G′ ∪ F (hopset edges never shorten distances, by exactness)."""
+        g = self.skeleton.as_graph()
+        for (u, v), w in self.edges.items():
+            if not g.has_edge(u, v) or g.weight(u, v) > w:
+                g.add_edge(u, v, w)
+        return g
+
+    def hop_bounded_distance(self, u: Vertex, v: Vertex, beta: Optional[int] = None) -> float:
+        """``d^{(β)}_{G′∪F}(u, v)`` — for validating the hopset property."""
+        from repro.hopsets.skeleton import hop_bounded_distances
+
+        b = beta if beta is not None else self.beta
+        dist, _ = hop_bounded_distances(self.augmented_graph(), u, b)
+        return dist.get(v, INF)
+
+
+def _concat_paths(p1: List[Vertex], p2: List[Vertex]) -> List[Vertex]:
+    """Join two vertex paths sharing an endpoint (p1 ends where p2 starts)."""
+    assert p1[-1] == p2[0], "paths must share the junction vertex"
+    return p1 + p2[1:]
+
+
+def build_hopset(
+    skeleton: Skeleton,
+    rng: Optional[random.Random] = None,
+    num_pivots: Optional[int] = None,
+) -> PathReportingHopset:
+    """Build the pivot-clique hopset over ``skeleton``.
+
+    Parameters
+    ----------
+    num_pivots:
+        |T|; default ``ceil(sqrt(|V'|))``.
+    """
+    rng = rng if rng is not None else random.Random()
+    skel_graph = skeleton.as_graph()
+    vertices = sorted(skeleton.vertices, key=repr)
+    n_skel = len(vertices)
+    if num_pivots is None:
+        num_pivots = max(1, math.ceil(math.sqrt(n_skel)))
+    pivots: Set[Vertex] = set(
+        rng.sample(vertices, num_pivots) if num_pivots < n_skel else vertices
+    )
+
+    # β: with |T| = √n' random pivots, shortest paths have a pivot every
+    # O(√n' log n') hops w.h.p.; one clique edge then finishes the job.
+    beta = min(n_skel, 2 * math.ceil(math.sqrt(n_skel) * max(1.0, math.log(n_skel + 1)))) + 1
+
+    hopset = PathReportingHopset(skeleton=skeleton, pivots=pivots, beta=beta)
+    for t in sorted(pivots, key=repr):
+        dist, parent = dijkstra(skel_graph, t)
+        for s in pivots:
+            if s == t or s not in dist:
+                continue
+            key = (t, s) if repr(t) <= repr(s) else (s, t)
+            if key in hopset.edges:
+                continue
+            hopset.edges[key] = dist[s]
+            # stitch the witness G-path from skeleton witness paths
+            chain: List[Vertex] = [s]
+            while parent[chain[-1]] is not None:
+                chain.append(parent[chain[-1]])
+            chain.reverse()  # t ... s in G'
+            full: List[Vertex] = [t]
+            for a, b in zip(chain, chain[1:]):
+                full = _concat_paths(full, skeleton.path(a, b))
+            hopset.paths[key] = full if key[0] == full[0] else list(reversed(full))
+    return hopset

@@ -1,0 +1,151 @@
+"""Random skeleton graph G′ — the substrate of the [EN16] hopset (§7.1).
+
+The paper: "The graph G′ is created by choosing the set V′ ⊆ V of size
+≈ √(n ln n) at random, so that w.h.p. it intersects every shortest path in
+G of length at least √n [hops].  The edges E′ are the √n-bounded distances
+in G between the vertices of V′."
+
+:func:`build_skeleton` reproduces this: it samples V′ (always including
+any caller-designated roots), computes the h-hop-bounded distances between
+skeleton vertices with bounded Bellman–Ford, and stores a *witness path*
+per skeleton edge so everything downstream remains path-reporting — the §7
+spanner must add real G-paths, not virtual edges.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.graphs.weighted_graph import Vertex, WeightedGraph
+
+INF = float("inf")
+
+
+def hop_bounded_distances(
+    graph: WeightedGraph, source: Vertex, hops: int
+) -> Tuple[Dict[Vertex, float], Dict[Vertex, Optional[Vertex]]]:
+    """``d^{(h)}_G(source, ·)``: lightest path using at most ``hops`` edges.
+
+    Plain Bellman–Ford truncated at ``hops`` iterations — exactly the
+    object CONGEST computes in ``hops`` rounds of relaxation.
+    """
+    dist: Dict[Vertex, float] = {source: 0.0}
+    parent: Dict[Vertex, Optional[Vertex]] = {source: None}
+    frontier: Set[Vertex] = {source}
+    for _ in range(hops):
+        updates: Dict[Vertex, Tuple[float, Vertex]] = {}
+        for u in frontier:
+            du = dist[u]
+            for v, w in graph.neighbor_items(u):
+                nd = du + w
+                if nd < dist.get(v, INF) and (v not in updates or nd < updates[v][0]):
+                    updates[v] = (nd, u)
+        frontier = set()
+        for v, (nd, u) in updates.items():
+            if nd < dist.get(v, INF):
+                dist[v] = nd
+                parent[v] = u
+                frontier.add(v)
+        if not frontier:
+            break
+    return dist, parent
+
+
+def _extract_path(parent: Dict[Vertex, Optional[Vertex]], target: Vertex) -> List[Vertex]:
+    path = [target]
+    while parent[path[-1]] is not None:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path
+
+
+@dataclass
+class Skeleton:
+    """The sampled skeleton V′ with its h-bounded virtual edges.
+
+    Attributes
+    ----------
+    vertices:
+        The skeleton set V′.
+    hops:
+        The hop bound h (≈ √n).
+    edges:
+        ``(u, v) → weight`` for ordered skeleton pairs with
+        ``d^{(h)}(u, v) < ∞`` (stored canonically, u before v by repr).
+    paths:
+        Witness G-path per skeleton edge (same key set as ``edges``).
+    """
+
+    vertices: Set[Vertex]
+    hops: int
+    edges: Dict[Tuple[Vertex, Vertex], float] = field(default_factory=dict)
+    paths: Dict[Tuple[Vertex, Vertex], List[Vertex]] = field(default_factory=dict)
+
+    def weight(self, u: Vertex, v: Vertex) -> float:
+        """Skeleton edge weight, or inf when the pair is not connected."""
+        key = (u, v) if repr(u) <= repr(v) else (v, u)
+        return self.edges.get(key, INF)
+
+    def path(self, u: Vertex, v: Vertex) -> List[Vertex]:
+        """Witness path from u to v (reversed from storage if needed)."""
+        key = (u, v) if repr(u) <= repr(v) else (v, u)
+        stored = self.paths[key]
+        return stored if stored[0] == u else list(reversed(stored))
+
+    def as_graph(self) -> WeightedGraph:
+        """The skeleton graph G′ = (V′, E′) as a :class:`WeightedGraph`."""
+        g = WeightedGraph(self.vertices)
+        for (u, v), w in self.edges.items():
+            g.add_edge(u, v, w)
+        return g
+
+
+def build_skeleton(
+    graph: WeightedGraph,
+    rng: Optional[random.Random] = None,
+    roots: Iterable[Vertex] = (),
+    size: Optional[int] = None,
+    hops: Optional[int] = None,
+) -> Skeleton:
+    """Sample V′ and compute its h-bounded pairwise distances.
+
+    Parameters
+    ----------
+    roots:
+        Vertices that must belong to V′ (e.g. the SPT root).
+    size:
+        Target |V′|; default ``ceil(sqrt(n · ln n))``.
+    hops:
+        Hop bound h; default ``ceil(sqrt(n))``.
+    """
+    rng = rng if rng is not None else random.Random()
+    n = graph.n
+    if size is None:
+        size = max(1, math.ceil(math.sqrt(n * max(math.log(n + 1), 1.0))))
+    if hops is None:
+        hops = max(1, math.isqrt(max(n - 1, 0)) + 1)
+
+    chosen: Set[Vertex] = set(roots)
+    pool = [v for v in sorted(graph.vertices(), key=repr) if v not in chosen]
+    need = max(0, size - len(chosen))
+    if need >= len(pool):
+        chosen.update(pool)
+    else:
+        chosen.update(rng.sample(pool, need))
+
+    skel = Skeleton(vertices=chosen, hops=hops)
+    for u in sorted(chosen, key=repr):
+        dist, parent = hop_bounded_distances(graph, u, hops)
+        for v in chosen:
+            if v == u or v not in dist:
+                continue
+            key = (u, v) if repr(u) <= repr(v) else (v, u)
+            if key in skel.edges and skel.edges[key] <= dist[v]:
+                continue
+            skel.edges[key] = dist[v]
+            path = _extract_path(parent, v)
+            skel.paths[key] = path if key[0] == path[0] else list(reversed(path))
+    return skel

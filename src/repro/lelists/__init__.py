@@ -1,0 +1,10 @@
+"""Least-Element lists ([Coh97], distributed by [FL16]) — §6 substrate."""
+
+from repro.lelists.le_lists import (
+    LEListResult,
+    compute_le_lists,
+    fl16_round_cost,
+    first_in_ball,
+)
+
+__all__ = ["LEListResult", "compute_le_lists", "fl16_round_cost", "first_in_ball"]

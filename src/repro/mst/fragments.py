@@ -1,0 +1,200 @@
+"""Base-fragment decomposition of the MST (§3.1).
+
+The first phase of the [KP98]/[Elk17b] MST algorithm leaves a partition of
+the MST T into O(√n) *base fragments*, each of hop-diameter O(√n); the
+remaining O(√n) MST edges (*external edges*) connect the fragments into the
+virtual tree T′, which is small enough to broadcast to the whole network.
+The Euler-tour construction (§3), the SLT's ABP computation (§4.2) and the
+bucket machinery of §5 all consume this decomposition.
+
+We build it directly: a post-order sweep over T closes a fragment whenever
+the open subtree hanging below the current vertex reaches ``s = ceil(√n)``
+vertices.  Guarantees (asserted by the test-suite):
+
+* fragments partition V(T) into connected subtrees;
+* at most ``n / s + 1 = O(√n)`` fragments;
+* every open branch below a fragment root has < s vertices, so fragment
+  hop-diameter is < 2s = O(√n)  (fragment *size* may exceed s at
+  high-degree vertices, but only the hop-diameter enters round costs).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.graphs.shortest_paths import hop_distances
+from repro.graphs.weighted_graph import WeightedGraph
+
+Vertex = Hashable
+
+
+@dataclass
+class Fragment:
+    """One base fragment of the MST.
+
+    Attributes
+    ----------
+    index:
+        Fragment id (0 = the fragment containing the global root).
+    root:
+        The fragment's root ``r_i`` — the unique vertex with an MST edge
+        toward the parent fragment (the global root for fragment 0).
+    members:
+        Vertex set of the fragment.
+    """
+
+    index: int
+    root: Vertex
+    members: Set[Vertex] = field(default_factory=set)
+
+    def hop_diameter(self, tree: WeightedGraph) -> int:
+        """Hop diameter of the fragment inside the MST."""
+        members = list(self.members)
+        if len(members) <= 1:
+            return 0
+        sub = tree.subgraph(members)
+        d0 = hop_distances(sub, members[0])
+        far = max(d0, key=lambda v: d0[v])
+        d1 = hop_distances(sub, far)
+        return max(d1.values())
+
+
+@dataclass
+class FragmentDecomposition:
+    """The fragment partition plus the virtual fragment tree T′ (§3.1)."""
+
+    tree: WeightedGraph
+    root: Vertex
+    fragments: List[Fragment]
+    fragment_of: Dict[Vertex, int]
+    #: external (inter-fragment) MST edges, as (child_root, parent_vertex, w):
+    #: the edge from fragment i's root r_i to its T-parent p(r_i).
+    external_edges: List[Tuple[Vertex, Vertex, float]]
+    #: fragment-tree parent: fragment index -> parent fragment index
+    fragment_parent: Dict[int, Optional[int]]
+
+    @property
+    def num_fragments(self) -> int:
+        """Number of base fragments."""
+        return len(self.fragments)
+
+    def max_hop_diameter(self) -> int:
+        """Largest fragment hop-diameter (drives local-phase round costs)."""
+        return max((f.hop_diameter(self.tree) for f in self.fragments), default=0)
+
+
+def _rooted_children(tree: WeightedGraph, root: Vertex) -> Tuple[Dict[Vertex, Optional[Vertex]], Dict[Vertex, List[Vertex]]]:
+    """Orient the tree away from ``root``; children sorted by id (§3:
+    "the order between the children of a vertex is determined using their
+    id")."""
+    parent: Dict[Vertex, Optional[Vertex]] = {root: None}
+    order: List[Vertex] = [root]
+    stack = [root]
+    while stack:
+        u = stack.pop()
+        for v in tree.neighbors(u):
+            if v not in parent:
+                parent[v] = u
+                order.append(v)
+                stack.append(v)
+    children: Dict[Vertex, List[Vertex]] = {v: [] for v in parent}
+    for v, p in parent.items():
+        if p is not None:
+            children[p].append(v)
+    for v in children:
+        children[v].sort(key=repr)
+    return parent, children
+
+
+def decompose_fragments(
+    tree: WeightedGraph, root: Vertex, target_size: Optional[int] = None
+) -> FragmentDecomposition:
+    """Partition the rooted MST into O(√n) base fragments.
+
+    Parameters
+    ----------
+    tree:
+        The MST (must be a tree).
+    root:
+        The global root ``rt``.
+    target_size:
+        Fragment-closing threshold ``s``; default ``ceil(sqrt(n))``.
+
+    Raises
+    ------
+    ValueError
+        If ``tree`` is not a tree or ``root`` is not one of its vertices.
+    """
+    if not tree.is_tree():
+        raise ValueError("fragment decomposition requires a tree")
+    if not tree.has_vertex(root):
+        raise ValueError(f"root {root!r} not in tree")
+    n = tree.n
+    s = target_size if target_size is not None else max(1, math.isqrt(n - 1) + 1)
+
+    parent, children = _rooted_children(tree, root)
+
+    # Post-order traversal (iterative; trees can be deep).
+    post: List[Vertex] = []
+    stack: List[Tuple[Vertex, bool]] = [(root, False)]
+    while stack:
+        v, expanded = stack.pop()
+        if expanded:
+            post.append(v)
+            continue
+        stack.append((v, True))
+        for c in reversed(children[v]):
+            stack.append((c, False))
+
+    fragments: List[Fragment] = []
+    fragment_of: Dict[Vertex, int] = {}
+    open_below: Dict[Vertex, List[Vertex]] = {}  # open (unassigned) subtree per vertex
+
+    def close_fragment(frag_root: Vertex, members: List[Vertex]) -> None:
+        idx = len(fragments)
+        frag = Fragment(index=idx, root=frag_root, members=set(members))
+        fragments.append(frag)
+        for m in members:
+            fragment_of[m] = idx
+
+    for v in post:
+        mine = [v]
+        for c in children[v]:
+            mine.extend(open_below.pop(c, []))
+        if len(mine) >= s or v == root:
+            close_fragment(v, mine)
+        else:
+            open_below[v] = mine
+    assert not open_below, "all vertices must be assigned to fragments"
+
+    # Re-index so the fragment containing the global root is number 0.
+    root_idx = fragment_of[root]
+    if root_idx != 0:
+        perm = {root_idx: 0, 0: root_idx}
+        fragments[0], fragments[root_idx] = fragments[root_idx], fragments[0]
+        for i, frag in enumerate(fragments):
+            frag.index = i
+        for vtx, idx in fragment_of.items():
+            fragment_of[vtx] = perm.get(idx, idx)
+
+    # External edges and the fragment tree T'.
+    external_edges: List[Tuple[Vertex, Vertex, float]] = []
+    fragment_parent: Dict[int, Optional[int]] = {0: None}
+    for frag in fragments:
+        if frag.members and parent[frag.root] is not None:
+            p = parent[frag.root]
+            external_edges.append((frag.root, p, tree.weight(frag.root, p)))
+            fragment_parent[frag.index] = fragment_of[p]
+        elif frag.root == root:
+            fragment_parent[frag.index] = None
+
+    return FragmentDecomposition(
+        tree=tree,
+        root=root,
+        fragments=fragments,
+        fragment_of=fragment_of,
+        external_edges=external_edges,
+        fragment_parent=fragment_parent,
+    )

@@ -1,0 +1,92 @@
+"""Sequential MST (Kruskal) — the ground truth the distributed MST is
+validated against, and the direct source of the tree T for the composed
+constructions (per DESIGN.md substitution 2).
+
+Edge comparison uses the total order ``(weight, canonical endpoints)`` so
+the MST is *unique* even with repeated weights; the Borůvka construction
+uses the same order, hence both produce the identical tree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+from repro.graphs.weighted_graph import WeightedGraph, canonical_edge
+
+Vertex = Hashable
+
+
+class UnionFind:
+    """Disjoint-set forest with union by size and path compression."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[Vertex, Vertex] = {}
+        self._size: Dict[Vertex, int] = {}
+
+    def add(self, v: Vertex) -> None:
+        """Register ``v`` as a singleton (no-op if present)."""
+        if v not in self._parent:
+            self._parent[v] = v
+            self._size[v] = 1
+
+    def find(self, v: Vertex) -> Vertex:
+        """Representative of ``v``'s set."""
+        root = v
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[v] != root:  # path compression
+            self._parent[v], v = root, self._parent[v]
+        return root
+
+    def union(self, u: Vertex, v: Vertex) -> bool:
+        """Merge the sets of ``u`` and ``v``; False if already merged."""
+        ru, rv = self.find(u), self.find(v)
+        if ru == rv:
+            return False
+        if self._size[ru] < self._size[rv]:
+            ru, rv = rv, ru
+        self._parent[rv] = ru
+        self._size[ru] += self._size[rv]
+        return True
+
+    def same(self, u: Vertex, v: Vertex) -> bool:
+        """True iff ``u`` and ``v`` are in the same set."""
+        return self.find(u) == self.find(v)
+
+
+def edge_sort_key(u: Vertex, v: Vertex, w: float) -> Tuple[float, str, str]:
+    """Total order on edges: weight, then canonical endpoint names."""
+    a, b = canonical_edge(u, v)
+    return (w, repr(a), repr(b))
+
+
+def kruskal_mst(graph: WeightedGraph) -> WeightedGraph:
+    """The unique MST of ``graph`` under the deterministic edge order.
+
+    Returns
+    -------
+    WeightedGraph
+        A tree spanning all of ``graph``'s vertices.
+
+    Raises
+    ------
+    ValueError
+        If ``graph`` is disconnected (no spanning tree exists).
+    """
+    uf = UnionFind()
+    for v in graph.vertices():
+        uf.add(v)
+    edges: List[Tuple[Vertex, Vertex, float]] = sorted(
+        graph.edges(), key=lambda e: edge_sort_key(*e)
+    )
+    tree = WeightedGraph(graph.vertices())
+    taken = 0
+    for u, v, w in edges:
+        if uf.union(u, v):
+            tree.add_edge(u, v, w)
+            taken += 1
+            if taken == graph.n - 1:
+                break
+    if taken != graph.n - 1 and graph.n > 0:
+        raise ValueError("graph is disconnected; MST does not exist")
+    return tree

@@ -1,0 +1,139 @@
+"""Baswana–Sen randomized (2k−1)-spanner [BS07].
+
+§5 of the paper uses this algorithm verbatim for the low-weight bucket
+``E' = {e : w(e) <= L/n}``: it bounds only the *number* of edges, but on E′
+that suffices for lightness because each edge is so light.
+
+The algorithm (weighted version): maintain a clustering, initially every
+vertex its own cluster.  In each of ``k − 1`` phases, cluster centers are
+sampled with probability ``n^{-1/k}``; a vertex adjacent to a sampled
+cluster joins the nearest one (by lightest edge) and adds that edge plus
+the lightest edge to every neighbouring cluster that beats it; a vertex
+with no sampled neighbour adds the lightest edge to *every* neighbouring
+cluster and retires.  A final phase connects every vertex to each adjacent
+surviving cluster.  Stretch 2k−1 holds deterministically; the edge count is
+O(k·n^{1+1/k}) in expectation.
+
+Round cost in CONGEST: O(k) (the paper, footnote 9).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.congest.ledger import RoundLedger
+from repro.graphs.weighted_graph import WeightedGraph
+from repro.mst.kruskal import edge_sort_key
+
+Vertex = Hashable
+
+#: Rounds charged per phase of the distributed implementation (constant
+#: work per phase: sampling announcement, cluster-join, edge selection).
+_ROUNDS_PER_PHASE = 3
+
+
+def baswana_sen_spanner(
+    graph: WeightedGraph,
+    k: int,
+    rng: Optional[random.Random] = None,
+    ledger: Optional[RoundLedger] = None,
+) -> WeightedGraph:
+    """Build a (2k−1)-spanner of ``graph`` with expected O(k·n^{1+1/k}) edges.
+
+    Parameters
+    ----------
+    k:
+        Stretch parameter (k >= 1); k = 1 returns the graph itself.
+    rng:
+        Random source (fresh unseeded one if omitted).
+    ledger:
+        Optional round ledger; charged ``3k`` rounds (the O(k) CONGEST
+        cost with the library's fixed constant).
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if ledger is not None:
+        ledger.charge("baswana-sen", _ROUNDS_PER_PHASE * k)
+    if k == 1:
+        return graph.copy()
+    rng = rng if rng is not None else random.Random()
+
+    n = graph.n
+    p = n ** (-1.0 / k) if n > 1 else 1.0
+    remaining = graph.copy()
+    spanner = WeightedGraph(graph.vertices())
+    center: Dict[Vertex, Vertex] = {v: v for v in graph.vertices()}
+
+    def lightest_per_cluster(v: Vertex) -> Dict[Vertex, Tuple[float, Vertex]]:
+        """Lightest remaining edge from ``v`` to each adjacent cluster."""
+        best: Dict[Vertex, Tuple[float, Vertex]] = {}
+        for u, w in remaining.neighbor_items(v):
+            cu = center.get(u)
+            if cu is None:
+                continue
+            if cu not in best or edge_sort_key(v, u, w) < edge_sort_key(v, best[cu][1], best[cu][0]):
+                best[cu] = (w, u)
+        return best
+
+    def drop_edges_to_cluster(v: Vertex, cluster: Vertex) -> None:
+        for u in list(remaining.neighbors(v)):
+            if center.get(u) == cluster:
+                remaining.remove_edge(v, u)
+
+    for _phase in range(1, k):
+        centers = set(center.values())
+        sampled = {c for c in centers if rng.random() < p}
+        new_center: Dict[Vertex, Vertex] = {
+            v: c for v, c in center.items() if c in sampled
+        }
+        # all vertices decide on the same snapshot of `remaining` (the
+        # distributed algorithm is synchronous); drops apply afterwards
+        additions = []
+        drops = []
+        for v in sorted(center, key=repr):
+            if center[v] in sampled:
+                continue
+            best = lightest_per_cluster(v)
+            sampled_adjacent = {c: e for c, e in best.items() if c in sampled}
+            if not sampled_adjacent:
+                # no sampled neighbour: connect to every adjacent cluster, retire
+                for c, (w, u) in best.items():
+                    additions.append((v, u, w))
+                    drops.append((v, c))
+            else:
+                c_star, (w_star, u_star) = min(
+                    sampled_adjacent.items(),
+                    key=lambda item: edge_sort_key(v, item[1][1], item[1][0]),
+                )
+                additions.append((v, u_star, w_star))
+                new_center[v] = c_star
+                drops.append((v, c_star))
+                for c, (w, u) in best.items():
+                    if c == c_star:
+                        continue
+                    if edge_sort_key(v, u, w) < edge_sort_key(v, u_star, w_star):
+                        additions.append((v, u, w))
+                        drops.append((v, c))
+        for v, u, w in additions:
+            spanner.add_edge(v, u, w)
+        for v, c in drops:
+            drop_edges_to_cluster(v, c)
+        center = new_center
+        # intra-cluster edges are never needed again
+        for u, v, _w in list(remaining.edges()):
+            if center.get(u) is not None and center.get(u) == center.get(v):
+                remaining.remove_edge(u, v)
+
+    # final phase: every vertex buys the lightest edge to each adjacent cluster
+    for v in sorted(graph.vertices(), key=repr):
+        best: Dict[Vertex, Tuple[float, Vertex]] = {}
+        for u, w in remaining.neighbor_items(v):
+            cu = center.get(u)
+            if cu is None:
+                continue
+            if cu not in best or edge_sort_key(v, u, w) < edge_sort_key(v, best[cu][1], best[cu][0]):
+                best[cu] = (w, u)
+        for _c, (w, u) in best.items():
+            spanner.add_edge(v, u, w)
+    return spanner

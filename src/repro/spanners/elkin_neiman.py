@@ -1,0 +1,145 @@
+"""Elkin–Neiman unweighted (2k−1)-spanner [EN17b] (§5 of the paper).
+
+The algorithm as the paper describes it: every vertex ``x`` samples
+``r(x)`` from an exponential distribution (conditioned on ``r(x) < k`` —
+footnote 10: the stretch analysis assumes it, and it "can be verified
+locally"; we resample until it holds).  For ``k`` synchronous rounds each
+vertex propagates ``(s(x), m(x) − 1)``, where ``m(x)`` is the largest
+shifted value ``r(y) − d_hop(y, x)`` seen so far and ``s(x)`` its source.
+Afterwards ``x`` adds, for every source ``y`` whose message reached it with
+value at least ``m(x) − 1``, one edge to a neighbour that delivered that
+message.  Stretch 2k−1 is guaranteed (given the conditioning); the edge
+count is O(n^{1+1/k}) in expectation with rate ``β = ln(n)/k``.
+
+§5 *simulates* this algorithm on cluster graphs whose vertices are MST
+clusters; to support that, the implementation here is a pure synchronous
+function over an abstract adjacency structure, independent of the CONGEST
+simulator, and it reports the per-round message traffic the §5 driver
+needs for its convergecast/broadcast round accounting.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Mapping, Optional, Set, Tuple
+
+Node = Hashable
+
+
+def sample_shifts(
+    nodes, k: int, rng: random.Random, beta: Optional[float] = None
+) -> Dict[Node, float]:
+    """Sample ``r(x) ~ Exp(β)`` conditioned on ``r(x) < k`` for every node.
+
+    ``β`` defaults to ``ln(n)/k`` (n = number of nodes), the rate that
+    balances O(n^{1/k}) expected edges per vertex against the conditioning.
+    """
+    nodes = list(nodes)
+    n = max(len(nodes), 2)
+    rate = beta if beta is not None else math.log(n) / k
+    shifts: Dict[Node, float] = {}
+    for x in nodes:
+        r = rng.expovariate(rate)
+        while r >= k:  # footnote 10: condition on r(x) < k
+            r = rng.expovariate(rate)
+        shifts[x] = r
+    return shifts
+
+
+@dataclass
+class ElkinNeimanRun:
+    """Result of one Elkin–Neiman run.
+
+    Attributes
+    ----------
+    edges:
+        The spanner edges, each a frozenset pair of nodes.
+    shifts:
+        The sampled exponential shifts ``r(x)``.
+    rounds:
+        Number of synchronous propagation rounds (= k).
+    messages_per_round:
+        Messages exchanged in each round — the §5 cluster-graph driver
+        charges its convergecast/broadcast phases from these counts.
+    """
+
+    edges: Set[FrozenSet[Node]]
+    shifts: Dict[Node, float]
+    rounds: int
+    messages_per_round: List[int] = field(default_factory=list)
+
+
+def elkin_neiman_spanner(
+    adjacency: Mapping[Node, Set[Node]],
+    k: int,
+    rng: Optional[random.Random] = None,
+    beta: Optional[float] = None,
+    shifts: Optional[Dict[Node, float]] = None,
+) -> ElkinNeimanRun:
+    """Run the [EN17b] spanner on an unweighted graph.
+
+    Parameters
+    ----------
+    adjacency:
+        Node → set of neighbours (symmetric).
+    k:
+        Stretch parameter; the result is a (2k−1)-spanner.
+    rng:
+        Random source (fresh one if omitted); ignored when ``shifts`` given.
+    shifts:
+        Pre-sampled shifts (the §5 case-1 driver samples them centrally at
+        the root and broadcasts, so they arrive from outside).
+
+    Returns
+    -------
+    ElkinNeimanRun
+        Spanner edges and instrumentation.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    rng = rng if rng is not None else random.Random()
+    nodes = list(adjacency)
+    if shifts is None:
+        shifts = sample_shifts(nodes, k, rng, beta)
+
+    # m(x): best shifted value seen; best[x][y] = (value, delivering neighbour)
+    m: Dict[Node, float] = dict(shifts)
+    source: Dict[Node, Node] = {x: x for x in nodes}
+    best: Dict[Node, Dict[Node, Tuple[float, Node]]] = {x: {} for x in nodes}
+    # round-0 messages: (s(x), m(x) - 1) to every neighbour
+    outgoing: Dict[Node, Tuple[Node, float]] = {x: (x, shifts[x] - 1) for x in nodes}
+    messages_per_round: List[int] = []
+
+    for _round in range(k):
+        inboxes: Dict[Node, List[Tuple[Node, Node, float]]] = {x: [] for x in nodes}
+        count = 0
+        for x, (src, val) in outgoing.items():
+            for nbr in adjacency[x]:
+                inboxes[nbr].append((x, src, val))
+                count += 1
+        messages_per_round.append(count)
+        outgoing = {}
+        for x in nodes:
+            # deterministic tie-break on equal values: lowest sender id
+            inboxes[x].sort(key=lambda t: repr(t[0]))
+            for sender, src, val in inboxes[x]:
+                cur = best[x].get(src)
+                if cur is None or val > cur[0]:
+                    best[x][src] = (val, sender)
+                if val > m[x]:
+                    m[x] = val
+                    source[x] = src
+            outgoing[x] = (source[x], m[x] - 1)
+
+    edges: Set[FrozenSet[Node]] = set()
+    for x in nodes:
+        for src, (val, sender) in best[x].items():
+            if src == x:
+                continue
+            if val >= m[x] - 1:
+                edges.add(frozenset((x, sender)))
+    return ElkinNeimanRun(
+        edges=edges, shifts=shifts, rounds=k, messages_per_round=messages_per_round
+    )

@@ -1,0 +1,171 @@
+"""(1+ε)-approximate shortest-path tree — the [BKKL17] stand-in.
+
+Per DESIGN.md substitution 3, the approximation is made *real* rather than
+cosmetic: edge weights are rounded **up** to integer powers of ``(1+ε)``
+before the tree is selected, and the returned ``dist`` values are the true
+(unrounded) weights of the chosen tree paths.  Consequences:
+
+* every tree path is a genuine path of G whose weight ``dist[v]`` satisfies
+  ``d_G(rt, v) <= dist[v] <= (1+ε) · d_G(rt, v)`` — Equation (1) of the
+  paper, with the upper bound typically *attained* (downstream analyses are
+  exercised against an actually-inexact SPT);
+* the tree generally differs from the exact SPT, as [BKKL17]'s would.
+
+Round cost: [BKKL17] give Õ((√n + D)/poly ε); we charge
+``(ceil(sqrt(n)) + height) · ceil(log2(n+1))^2 · ceil(1/ε)`` — the same
+measured-quantity convention as every other ledger charge (constants fixed
+once, uniform across constructions).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.congest.ledger import RoundLedger
+from repro.graphs.shortest_paths import dijkstra
+from repro.graphs.weighted_graph import Vertex, WeightedGraph
+from repro.spt.tree import SPTree
+
+
+def _round_up_weight(w: float, eps: float) -> float:
+    """Round ``w`` up to the next integer power of ``1 + eps``."""
+    if eps <= 0:
+        return w
+    base = 1.0 + eps
+    exponent = math.ceil(math.log(w, base) - 1e-12)
+    return base ** exponent
+
+
+def bkkl_round_cost(n: int, height: int, eps: float) -> int:
+    """Charged rounds for one [BKKL17] approximate-SPT invocation."""
+    if n <= 1:
+        return 1
+    sqrt_n = math.isqrt(n - 1) + 1
+    polylog = math.ceil(math.log2(n + 1)) ** 2
+    return (sqrt_n + height) * polylog * math.ceil(1.0 / max(eps, 1e-9))
+
+
+def approx_spt(
+    graph: WeightedGraph,
+    root: Vertex,
+    eps: float,
+    bfs_height: Optional[int] = None,
+    ledger: Optional[RoundLedger] = None,
+    phase: str = "approx-spt",
+) -> SPTree:
+    """Build a (1+ε)-approximate SPT rooted at ``root``.
+
+    Parameters
+    ----------
+    graph:
+        Connected weighted graph.
+    eps:
+        Approximation parameter; ``eps = 0`` degenerates to the exact SPT.
+    bfs_height:
+        BFS-tree height for the round charge (default: ``isqrt(n)``).
+    ledger:
+        Optional ledger to charge; a fresh one is used otherwise.
+    phase:
+        Ledger phase name.
+
+    Raises
+    ------
+    ValueError
+        If the graph is disconnected.
+    """
+    n = graph.n
+    height = bfs_height if bfs_height is not None else (math.isqrt(max(n - 1, 0)) + 1)
+    led = ledger if ledger is not None else RoundLedger()
+    rounds = led.charge(phase, bkkl_round_cost(n, height, max(eps, 1e-9)))
+
+    if eps > 0:
+        rounded = graph.reweighted(lambda u, v, w: _round_up_weight(w, eps))
+    else:
+        rounded = graph
+    _, parent = dijkstra(rounded, root)
+    if len(parent) != n:
+        raise ValueError(f"graph disconnected: approximate SPT from {root!r} failed")
+
+    # true weights of the chosen tree paths
+    dist: Dict[Vertex, float] = {root: 0.0}
+    order: List[Vertex] = [root]
+    children: Dict[Vertex, List[Vertex]] = {v: [] for v in parent}
+    for v, p in parent.items():
+        if p is not None:
+            children[p].append(v)
+    idx = 0
+    while idx < len(order):
+        u = order[idx]
+        idx += 1
+        for c in children[u]:
+            dist[c] = dist[u] + graph.weight(u, c)
+            order.append(c)
+
+    return SPTree(root=root, parent=parent, dist=dist, rounds=rounds)
+
+
+def bounded_approx_spt(
+    graph: WeightedGraph,
+    sources: Iterable[Vertex],
+    radius: float,
+    eps: float,
+) -> Tuple[Dict[Vertex, float], Dict[Vertex, Optional[Vertex]], Dict[Vertex, Vertex]]:
+    """Multi-source ``radius``-bounded (1+ε)-approximate shortest paths.
+
+    The §7 doubling spanner runs, from every net point in parallel, a
+    2Δ-bounded (1+ε)-approximate exploration; this is its sequential core
+    (the hopset module owns the round accounting).
+
+    Returns
+    -------
+    (dist, parent, origin):
+        ``dist[v]`` — weight (true weights) of the chosen path from the
+        nearest source, present only when ``<= radius``;
+        ``parent[v]`` — predecessor on that path (None at sources);
+        ``origin[v]`` — which source the path starts at.
+
+    Notes
+    -----
+    Paths are selected under weights rounded up to powers of (1+ε) but
+    pruned by *true* accumulated weight against ``radius``, so every
+    reported path genuinely fits the bound while its weight is within
+    (1+ε) of optimal among radius-bounded paths.
+    """
+    import heapq
+
+    if eps > 0:
+        weight_of = lambda u, v: _round_up_weight(graph.weight(u, v), eps)
+    else:
+        weight_of = graph.weight
+
+    dist: Dict[Vertex, float] = {}
+    true_dist: Dict[Vertex, float] = {}
+    parent: Dict[Vertex, Optional[Vertex]] = {}
+    origin: Dict[Vertex, Vertex] = {}
+    heap: List[Tuple[float, int, Vertex]] = []
+    counter = 0
+    for s in sources:
+        dist[s] = 0.0
+        true_dist[s] = 0.0
+        parent[s] = None
+        origin[s] = s
+        heapq.heappush(heap, (0.0, counter, s))
+        counter += 1
+    settled = set()
+    while heap:
+        d, _, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled.add(u)
+        for v, w in graph.neighbor_items(u):
+            nd = d + weight_of(u, v)
+            nt = true_dist[u] + w
+            if nt <= radius and nd < dist.get(v, float("inf")):
+                dist[v] = nd
+                true_dist[v] = nt
+                parent[v] = u
+                origin[v] = origin[u]
+                heapq.heappush(heap, (nd, counter, v))
+                counter += 1
+    return true_dist, parent, origin

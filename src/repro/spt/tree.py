@@ -1,0 +1,62 @@
+"""Rooted shortest-path-tree container shared by exact and approximate SPTs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional
+
+from repro.graphs.weighted_graph import WeightedGraph
+
+Vertex = Hashable
+
+
+@dataclass
+class SPTree:
+    """A rooted spanning tree with per-vertex root distances.
+
+    For an exact SPT ``dist[v] == d_G(rt, v)``; for a (1+ε)-approximate SPT
+    (Equation (1) of the paper) ``d_G(rt, v) <= dist[v] <= (1+ε) d_G(rt, v)``,
+    and ``dist[v]`` is always the *true weight* of the tree path — the tree
+    is a subgraph of G, as the SLT construction requires (§4.2 adds tree
+    paths P_b to H).
+
+    Attributes
+    ----------
+    root:
+        The root ``rt``.
+    parent:
+        Vertex → parent on the tree (root → None).
+    dist:
+        Vertex → weight of the tree path to the root.
+    rounds:
+        Charged/measured CONGEST rounds of the construction.
+    """
+
+    root: Vertex
+    parent: Dict[Vertex, Optional[Vertex]]
+    dist: Dict[Vertex, float]
+    rounds: int = 0
+
+    def path_to_root(self, v: Vertex) -> List[Vertex]:
+        """The unique tree path ``v → ... → root`` (the paper's P_b reversed)."""
+        path = [v]
+        while self.parent[path[-1]] is not None:
+            path.append(self.parent[path[-1]])
+        return path
+
+    def as_graph(self, source: WeightedGraph) -> WeightedGraph:
+        """Materialize the tree as a :class:`WeightedGraph` (weights from G)."""
+        tree = WeightedGraph(self.parent)
+        for v, p in self.parent.items():
+            if p is not None:
+                tree.add_edge(v, p, source.weight(v, p))
+        return tree
+
+    def stretch_to_root(self, exact_dist: Dict[Vertex, float]) -> float:
+        """Max ``dist[v] / d_G(rt, v)`` over v ≠ root — the SPT's root-stretch."""
+        worst = 1.0
+        for v, d in self.dist.items():
+            true = exact_dist[v]
+            if true > 0:
+                worst = max(worst, d / true)
+        return worst

@@ -1,0 +1,58 @@
+"""Tests for the [BFN16] reduction (Lemma 5)."""
+
+import pytest
+
+from repro.core import bfn_reweighted_graph
+from repro.core.bfn_reduction import bfn_bounds
+from repro.graphs import dijkstra, erdos_renyi_graph
+from repro.mst.kruskal import kruskal_mst
+
+
+class TestReweighting:
+    def test_mst_edges_unchanged(self, medium_er):
+        mst = kruskal_mst(medium_er)
+        g2 = bfn_reweighted_graph(medium_er, 0.25, mst)
+        for u, v, w in mst.edges():
+            assert g2.weight(u, v) == pytest.approx(w)
+
+    def test_non_mst_edges_scaled_by_inverse_delta(self, medium_er):
+        mst = kruskal_mst(medium_er)
+        delta = 0.25
+        g2 = bfn_reweighted_graph(medium_er, delta, mst)
+        for u, v, w in medium_er.edges():
+            if not mst.has_edge(u, v):
+                assert g2.weight(u, v) == pytest.approx(w / delta)
+
+    def test_mst_of_reweighted_graph_is_same_tree(self, medium_er):
+        """Non-tree edges only get heavier, so the MST survives (cycle
+        property) — the invariant Lemma 5's lightness argument rests on."""
+        g2 = bfn_reweighted_graph(medium_er, 0.3)
+        assert kruskal_mst(g2).edge_set() == kruskal_mst(medium_er).edge_set()
+
+    def test_distances_sandwiched(self, medium_er):
+        """d_{G,w} <= d_{G,w'} <= d_{G,w}/δ."""
+        delta = 0.5
+        g2 = bfn_reweighted_graph(medium_er, delta)
+        d1, _ = dijkstra(medium_er, 0)
+        d2, _ = dijkstra(g2, 0)
+        for v in medium_er.vertices():
+            if v == 0:
+                continue
+            assert d2[v] >= d1[v] - 1e-9
+            assert d2[v] <= d1[v] / delta + 1e-9
+
+    @pytest.mark.parametrize("delta", [0.0, 1.0, -0.5, 2.0])
+    def test_invalid_delta_rejected(self, small_er, delta):
+        with pytest.raises(ValueError):
+            bfn_reweighted_graph(small_er, delta)
+
+
+class TestBounds:
+    def test_lemma5_formulas(self):
+        light, distort = bfn_bounds(base_lightness=10.0, base_distortion=2.0, delta=0.1)
+        assert light == pytest.approx(2.0)  # 1 + 0.1·10
+        assert distort == pytest.approx(20.0)  # 2/0.1
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            bfn_bounds(10.0, 2.0, 1.5)

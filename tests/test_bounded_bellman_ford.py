@@ -1,0 +1,74 @@
+"""Tests for the native bounded multi-source Bellman–Ford."""
+
+import pytest
+
+from repro.graphs import WeightedGraph, dijkstra, erdos_renyi_graph, path_graph
+from repro.hopsets import hop_bounded_distances
+from repro.spt.bounded_bellman_ford import bounded_bellman_ford
+
+
+class TestAgainstSequentialReference:
+    @pytest.mark.parametrize("hops", [1, 3, 6])
+    def test_matches_hop_bounded_distances(self, small_er, hops):
+        native, _, _ = bounded_bellman_ford(small_er, [0], hops)
+        reference, _ = hop_bounded_distances(small_er, 0, hops)
+        assert set(native) == set(reference)
+        for v, d in reference.items():
+            assert native[v] == pytest.approx(d)
+
+    def test_full_hops_matches_dijkstra(self, small_er):
+        native, _, _ = bounded_bellman_ford(small_er, [0], small_er.n)
+        exact, _ = dijkstra(small_er, 0)
+        for v, d in exact.items():
+            assert native[v] == pytest.approx(d)
+
+    def test_multi_source_is_min_over_sources(self, medium_er):
+        sources = [0, 9, 23]
+        native, _, _ = bounded_bellman_ford(medium_er, sources, medium_er.n)
+        exact, _ = dijkstra(medium_er, sources)
+        for v, d in exact.items():
+            assert native[v] == pytest.approx(d)
+
+
+class TestBudgets:
+    def test_hop_budget_limits_reach(self):
+        g = path_graph(12)
+        dist, _, _ = bounded_bellman_ford(g, [0], hops=4)
+        assert set(dist) == {0, 1, 2, 3, 4}
+
+    def test_radius_prunes(self):
+        g = path_graph(12)
+        dist, _, _ = bounded_bellman_ford(g, [0], hops=12, radius=5.0)
+        assert set(dist) == {0, 1, 2, 3, 4, 5}
+
+    def test_rounds_at_most_hops_plus_constant(self):
+        g = erdos_renyi_graph(40, 0.15, seed=1)
+        _, _, rounds = bounded_bellman_ford(g, [0], hops=5)
+        assert rounds <= 5 + 3
+
+    def test_parent_pointers_valid(self, small_er):
+        dist, parent, _ = bounded_bellman_ford(small_er, [0, 7], hops=8)
+        for v in dist:
+            node, total = v, 0.0
+            while parent[node] is not None:
+                total += small_er.weight(node, parent[node])
+                node = parent[node]
+            assert node in (0, 7)
+            assert total == pytest.approx(dist[v])
+
+
+class TestValidation:
+    def test_bad_hops(self, small_er):
+        with pytest.raises(ValueError):
+            bounded_bellman_ford(small_er, [0], 0)
+
+    def test_no_sources(self, small_er):
+        with pytest.raises(ValueError):
+            bounded_bellman_ford(small_er, [], 3)
+
+    def test_disconnected_leaves_unreached(self):
+        g = WeightedGraph(range(4))
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(2, 3, 1.0)
+        dist, _, _ = bounded_bellman_ford(g, [0], hops=5)
+        assert set(dist) == {0, 1}

@@ -1,0 +1,74 @@
+"""Tests for the doubling-dimension utilities (§1.3 / Lemma 6)."""
+
+import math
+
+import pytest
+
+from repro.graphs import (
+    ball,
+    complete_graph,
+    doubling_dimension_estimate,
+    grid_graph,
+    packing_number,
+    path_graph,
+    random_geometric_graph,
+    star_graph,
+)
+
+
+class TestBall:
+    def test_ball_on_path(self):
+        g = path_graph(9)
+        assert ball(g, 4, 2.0) == {2, 3, 4, 5, 6}
+
+    def test_ball_radius_zero_is_center(self):
+        g = path_graph(5)
+        assert ball(g, 2, 0.0) == {2}
+
+    def test_ball_monotone_in_radius(self, small_er):
+        b1 = ball(small_er, 0, 10.0)
+        b2 = ball(small_er, 0, 30.0)
+        assert b1 <= b2
+
+
+class TestPackingNumber:
+    def test_path_packing(self):
+        g = path_graph(21)
+        # radius-10 ball around the middle = everything; 5-separated subset
+        count = packing_number(g, 10, 10.0, 5.0)
+        assert 3 <= count <= 5
+
+    def test_lemma6_shape_on_grid(self):
+        """Packing number <= (2R/r)^{O(ddim)} with ddim ≈ 2 for grids."""
+        g = grid_graph(9, 9)
+        count = packing_number(g, 40, 8.0, 2.0)
+        assert count <= (2 * 8.0 / 2.0) ** 3
+
+    def test_star_is_low_dimensional_at_large_radius(self):
+        g = star_graph(30)
+        # every leaf is within 2 of every other: 3-separated packing = 1
+        assert packing_number(g, 0, 2.0, 3.0) == 1
+
+
+class TestDoublingDimensionEstimate:
+    def test_path_is_one_dimensional(self):
+        g = path_graph(40)
+        assert doubling_dimension_estimate(g) <= 3.0
+
+    def test_grid_is_two_dimensionalish(self):
+        g = grid_graph(8, 8)
+        d = doubling_dimension_estimate(g)
+        assert 1.0 <= d <= 5.0
+
+    def test_geometric_graph_low_dimension(self):
+        g = random_geometric_graph(60, seed=1)
+        assert doubling_dimension_estimate(g) <= 6.0
+
+    def test_complete_graph_bounded_by_log_n(self):
+        g = complete_graph(32, min_weight=1.0, max_weight=1.0)
+        assert doubling_dimension_estimate(g) <= math.log2(32) + 1
+
+    def test_single_vertex(self):
+        from repro.graphs import WeightedGraph
+
+        assert doubling_dimension_estimate(WeightedGraph([0])) == 0.0

@@ -1,0 +1,62 @@
+"""Tests for the native CONGEST Elkin–Neiman node program."""
+
+import random
+
+import pytest
+
+from repro.graphs import cycle_graph, erdos_renyi_graph, grid_graph
+from repro.spanners import (
+    elkin_neiman_distributed,
+    elkin_neiman_spanner,
+    sample_shifts,
+)
+
+
+def _adjacency(g):
+    return {v: set(g.neighbors(v)) for v in g.vertices()}
+
+
+class TestEquivalenceWithPureFunction:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_same_edges_given_same_shifts(self, seed, k):
+        g = erdos_renyi_graph(30, 0.2, seed=seed)
+        shifts = sample_shifts(list(g.vertices()), k, random.Random(seed))
+        native, _ = elkin_neiman_distributed(g, k, shifts=shifts)
+        pure = elkin_neiman_spanner(_adjacency(g), k, shifts=shifts)
+        assert native.edges == pure.edges
+
+    def test_same_on_grid(self):
+        g = grid_graph(5, 5)
+        shifts = sample_shifts(list(g.vertices()), 2, random.Random(9))
+        native, _ = elkin_neiman_distributed(g, 2, shifts=shifts)
+        pure = elkin_neiman_spanner(_adjacency(g), 2, shifts=shifts)
+        assert native.edges == pure.edges
+
+
+class TestNativeExecution:
+    def test_measured_rounds_is_k_plus_constant(self):
+        g = erdos_renyi_graph(40, 0.2, seed=4)
+        _, rounds = elkin_neiman_distributed(g, 3, random.Random(4))
+        assert rounds <= 3 + 3  # k delivery rounds + setup/teardown
+
+    def test_stretch_guarantee_native(self):
+        from tests.test_spanners import _unweighted_stretch
+
+        g = erdos_renyi_graph(35, 0.2, seed=5)
+        run, _ = elkin_neiman_distributed(g, 2, random.Random(5))
+        assert _unweighted_stretch(_adjacency(g), run.edges) <= 3
+
+    def test_bandwidth_never_violated(self):
+        """Messages are (id, float) pairs — 2 words, inside the budget."""
+        from repro.congest import SyncNetwork
+
+        g = cycle_graph(20)
+        net = SyncNetwork(g, words_per_message=2)
+        run, _ = elkin_neiman_distributed(g, 2, random.Random(6), network=net)
+        assert run.edges  # completed without BandwidthViolation
+
+    def test_invalid_k(self):
+        g = cycle_graph(5)
+        with pytest.raises(ValueError):
+            elkin_neiman_distributed(g, 0)

@@ -1,0 +1,119 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.graphs import (
+    caterpillar_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    hop_diameter,
+    path_graph,
+    random_geometric_graph,
+    random_tree,
+    ring_of_cliques,
+    star_graph,
+    unit_ball_graph,
+)
+
+
+class TestDeterministicShapes:
+    def test_complete_graph(self):
+        g = complete_graph(6)
+        assert g.n == 6
+        assert g.m == 15
+
+    def test_path_and_cycle(self):
+        assert path_graph(5).m == 4
+        assert cycle_graph(5).m == 5
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_star_plain(self):
+        g = star_graph(7)
+        assert g.m == 6
+        assert g.degree(0) == 6
+
+    def test_star_with_rim(self):
+        g = star_graph(7, rim_weight=1.0)
+        assert g.m == 6 + 6  # spokes + rim cycle on 6 leaves
+        assert g.is_connected()
+
+    def test_grid_dimensions(self):
+        g = grid_graph(3, 4)
+        assert g.n == 12
+        assert g.m == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_grid_jitter_bounded(self):
+        g = grid_graph(4, 4, weight=2.0, jitter=0.5, seed=1)
+        for _, _, w in g.edges():
+            assert 2.0 <= w <= 3.0
+
+    def test_caterpillar(self):
+        g = caterpillar_graph(5, legs_per_vertex=3)
+        assert g.n == 5 + 15
+        assert g.is_connected()
+
+    def test_ring_of_cliques(self):
+        g = ring_of_cliques(4, 3, inter_weight=9.0)
+        assert g.n == 12
+        assert g.is_connected()
+        assert g.max_weight() == 9.0
+        with pytest.raises(ValueError):
+            ring_of_cliques(2, 3)
+
+
+class TestRandomFamilies:
+    def test_er_connected_and_seeded(self):
+        a = erdos_renyi_graph(40, 0.1, seed=5)
+        b = erdos_renyi_graph(40, 0.1, seed=5)
+        assert a == b
+        assert a.is_connected()
+
+    def test_er_different_seeds_differ(self):
+        a = erdos_renyi_graph(40, 0.1, seed=5)
+        b = erdos_renyi_graph(40, 0.1, seed=6)
+        assert a != b
+
+    def test_er_weights_in_range(self):
+        g = erdos_renyi_graph(30, 0.2, min_weight=2.0, max_weight=7.0, seed=1)
+        assert g.min_weight() >= 2.0
+        assert g.max_weight() <= 7.0
+
+    def test_geometric_connected(self):
+        g = random_geometric_graph(50, seed=4)
+        assert g.is_connected()
+        assert g.min_weight() >= 1.0
+
+    def test_geometric_weights_scale_with_distance(self):
+        g = random_geometric_graph(30, seed=9, weight_scale=100.0)
+        assert g.max_weight() <= 100.0 * 2 ** 0.5 + 1e-9  # unit square diagonal
+
+    def test_unit_ball_graph_connected(self):
+        g = unit_ball_graph(40, seed=2)
+        assert g.is_connected()
+
+    def test_random_tree_is_tree(self):
+        t = random_tree(25, seed=3)
+        assert t.is_tree()
+
+    def test_random_tree_seeded(self):
+        assert random_tree(25, seed=3) == random_tree(25, seed=3)
+
+
+class TestPaperAssumptions:
+    """§2: weights in [1, poly(n)] and connectedness."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_er_minimum_weight_at_least_one(self, seed):
+        g = erdos_renyi_graph(25, 0.2, seed=seed)
+        assert g.min_weight() >= 1.0
+
+    def test_geometric_aspect_ratio_polynomial(self):
+        g = random_geometric_graph(60, seed=8)
+        assert g.aspect_ratio() <= g.n ** 3
+
+    def test_caterpillar_hop_diameter_large(self):
+        g = caterpillar_graph(20, legs_per_vertex=1)
+        assert hop_diameter(g) >= 20  # long spine dominates

@@ -1,0 +1,141 @@
+"""Tests for the skeleton and path-reporting hopset ([EN16] stand-in)."""
+
+import random
+
+import pytest
+
+from repro.graphs import dijkstra, erdos_renyi_graph, path_graph
+from repro.graphs.shortest_paths import path_weight
+from repro.hopsets import (
+    build_hopset,
+    build_skeleton,
+    bounded_exploration_cost,
+    en16_round_cost,
+    hop_bounded_distances,
+)
+
+
+class TestHopBoundedDistances:
+    def test_respects_hop_budget(self):
+        g = path_graph(10)
+        dist, _ = hop_bounded_distances(g, 0, hops=3)
+        assert set(dist) == {0, 1, 2, 3}
+
+    def test_matches_dijkstra_with_enough_hops(self, small_er):
+        bounded, _ = hop_bounded_distances(small_er, 0, hops=small_er.n)
+        exact, _ = dijkstra(small_er, 0)
+        for v, d in exact.items():
+            assert bounded[v] == pytest.approx(d)
+
+    def test_finds_light_path_within_budget(self):
+        # direct heavy edge vs a 2-hop light detour: budget decides
+        from repro.graphs import WeightedGraph
+
+        g = WeightedGraph()
+        g.add_edge(0, 2, 10.0)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, 1.0)
+        d1, _ = hop_bounded_distances(g, 0, hops=1)
+        d2, _ = hop_bounded_distances(g, 0, hops=2)
+        assert d1[2] == 10.0
+        assert d2[2] == 2.0
+
+    def test_parent_pointers_give_valid_path(self, small_er):
+        dist, parent = hop_bounded_distances(small_er, 0, hops=6)
+        for v in dist:
+            node, hops = v, 0
+            while parent[node] is not None:
+                assert small_er.has_edge(node, parent[node])
+                node = parent[node]
+                hops += 1
+            assert node == 0
+            assert hops <= 6
+
+
+class TestSkeleton:
+    def test_roots_always_included(self, medium_er):
+        skel = build_skeleton(medium_er, random.Random(0), roots=[0, 7])
+        assert 0 in skel.vertices and 7 in skel.vertices
+
+    def test_size_about_sqrt_n_log_n(self, medium_er):
+        skel = build_skeleton(medium_er, random.Random(1))
+        import math
+
+        target = math.ceil(math.sqrt(medium_er.n * math.log(medium_er.n + 1)))
+        assert len(skel.vertices) == target
+
+    def test_edges_are_at_least_true_distance(self, medium_er):
+        skel = build_skeleton(medium_er, random.Random(2))
+        for (u, v), w in skel.edges.items():
+            exact, _ = dijkstra(medium_er, u)
+            assert w >= exact[v] - 1e-9
+
+    def test_witness_paths_have_edge_weight(self, medium_er):
+        skel = build_skeleton(medium_er, random.Random(3))
+        for (u, v), w in skel.edges.items():
+            p = skel.path(u, v)
+            assert p[0] == u and p[-1] == v
+            assert path_weight(medium_er, p) == pytest.approx(w)
+            assert len(p) - 1 <= skel.hops
+
+    def test_path_orientation(self, medium_er):
+        skel = build_skeleton(medium_er, random.Random(4))
+        (u, v) = next(iter(skel.edges))
+        assert skel.path(u, v) == list(reversed(skel.path(v, u)))
+
+    def test_as_graph(self, medium_er):
+        skel = build_skeleton(medium_er, random.Random(5))
+        g = skel.as_graph()
+        assert set(g.vertices()) == skel.vertices
+        assert g.m == len(skel.edges)
+
+    def test_small_graph_takes_everyone(self):
+        g = path_graph(4)
+        skel = build_skeleton(g, random.Random(0), size=10)
+        assert skel.vertices == set(g.vertices())
+
+
+class TestHopset:
+    def test_hopset_edges_exact_skeleton_distances(self, medium_er):
+        skel = build_skeleton(medium_er, random.Random(0))
+        hop = build_hopset(skel, random.Random(1))
+        skel_graph = skel.as_graph()
+        for (u, v), w in hop.edges.items():
+            exact, _ = dijkstra(skel_graph, u)
+            assert w == pytest.approx(exact[v])
+
+    def test_hopset_never_shortens_g_distances(self, medium_er):
+        skel = build_skeleton(medium_er, random.Random(0))
+        hop = build_hopset(skel, random.Random(1))
+        for (u, v), w in hop.edges.items():
+            exact, _ = dijkstra(medium_er, u)
+            assert w >= exact[v] - 1e-9
+
+    def test_witness_paths_valid_in_g(self, medium_er):
+        skel = build_skeleton(medium_er, random.Random(2))
+        hop = build_hopset(skel, random.Random(3))
+        for (u, v), w in hop.edges.items():
+            p = hop.path(u, v)
+            assert p[0] == u and p[-1] == v
+            assert path_weight(medium_er, p) == pytest.approx(w)
+
+    def test_hopbound_property(self, medium_er):
+        """d^{(β)}_{G'∪F} equals d_{G'} for pivot-reachable pairs."""
+        skel = build_skeleton(medium_er, random.Random(4))
+        hop = build_hopset(skel, random.Random(5))
+        skel_graph = skel.as_graph()
+        pivots = sorted(hop.pivots, key=repr)[:3]
+        for u in pivots:
+            exact, _ = dijkstra(skel_graph, u)
+            for v in sorted(skel.vertices, key=repr)[:5]:
+                if v == u or v not in exact:
+                    continue
+                assert hop.hop_bounded_distance(u, v) <= exact[v] * (1 + 1e-9)
+
+    def test_round_cost_formulas(self):
+        assert en16_round_cost(100, 5, 4) == (10 + 5) * 16  # isqrt(99)+1 = 10
+        assert bounded_exploration_cost(100, 5, 2, overlap=3, skeleton_size=20) > 0
+        # overlap multiplies the cost
+        a = bounded_exploration_cost(100, 5, 2, 1, 20)
+        b = bounded_exploration_cost(100, 5, 2, 4, 20)
+        assert b == 4 * a

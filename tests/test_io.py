@@ -1,0 +1,70 @@
+"""Tests for graph serialization."""
+
+import pytest
+
+from repro import io as graph_io
+from repro.graphs import WeightedGraph, erdos_renyi_graph
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path, small_er):
+        path = tmp_path / "g.txt"
+        graph_io.write_edge_list(small_er, path)
+        back = graph_io.read_edge_list(path)
+        assert back == small_er
+
+    def test_isolated_vertices_preserved(self, tmp_path):
+        g = WeightedGraph([0, 1, 2])
+        g.add_edge(0, 1, 2.5)
+        path = tmp_path / "g.txt"
+        graph_io.write_edge_list(g, path)
+        back = graph_io.read_edge_list(path)
+        assert back == g
+        assert back.has_vertex(2)
+
+    def test_string_vertex_ids(self, tmp_path):
+        g = WeightedGraph()
+        g.add_edge("alpha", "beta", 1.5)
+        path = tmp_path / "g.txt"
+        graph_io.write_edge_list(g, path)
+        back = graph_io.read_edge_list(path)
+        assert back.weight("alpha", "beta") == 1.5
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\n0 1 2.0  # trailing comment\n")
+        g = graph_io.read_edge_list(path)
+        assert g.weight(0, 1) == 2.0
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(ValueError):
+            graph_io.read_edge_list(path)
+
+    def test_bad_weight_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 heavy\n")
+        with pytest.raises(ValueError):
+            graph_io.read_edge_list(path)
+
+
+class TestJson:
+    def test_roundtrip(self, tmp_path, small_er):
+        path = tmp_path / "g.json"
+        graph_io.write_json(small_er, path)
+        assert graph_io.read_json(path) == small_er
+
+    def test_missing_keys_raise(self, tmp_path):
+        path = tmp_path / "g.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError):
+            graph_io.read_json(path)
+
+    def test_weights_are_floats(self, tmp_path):
+        g = WeightedGraph()
+        g.add_edge(0, 1, 3)
+        path = tmp_path / "g.json"
+        graph_io.write_json(g, path)
+        back = graph_io.read_json(path)
+        assert isinstance(back.weight(0, 1), float)

@@ -1,0 +1,201 @@
+"""Tests for Kruskal, Borůvka and the fragment decomposition."""
+
+import math
+
+import pytest
+
+from repro.graphs import (
+    WeightedGraph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+    random_tree,
+    ring_of_cliques,
+)
+from repro.mst import (
+    UnionFind,
+    boruvka_mst,
+    decompose_fragments,
+    kruskal_mst,
+)
+
+
+class TestUnionFind:
+    def test_union_and_find(self):
+        uf = UnionFind()
+        for v in range(4):
+            uf.add(v)
+        assert uf.union(0, 1)
+        assert uf.union(2, 3)
+        assert not uf.same(0, 2)
+        assert uf.union(1, 3)
+        assert uf.same(0, 2)
+
+    def test_union_already_merged(self):
+        uf = UnionFind()
+        uf.add(0)
+        uf.add(1)
+        uf.union(0, 1)
+        assert not uf.union(1, 0)
+
+    def test_add_idempotent(self):
+        uf = UnionFind()
+        uf.add(0)
+        uf.union(0, 0) if False else None
+        uf.add(0)
+        assert uf.find(0) == 0
+
+
+class TestKruskal:
+    def test_path_graph_mst_is_itself(self):
+        g = path_graph(6)
+        assert kruskal_mst(g) == g
+
+    def test_cycle_drops_heaviest(self):
+        g = cycle_graph(4, weight=1.0)
+        g.remove_edge(3, 0)
+        g.add_edge(3, 0, 9.0)
+        t = kruskal_mst(g)
+        assert not t.has_edge(3, 0)
+        assert t.is_tree()
+
+    def test_matches_networkx(self, medium_er):
+        import networkx as nx
+
+        t = kruskal_mst(medium_er)
+        nxt = nx.minimum_spanning_tree(medium_er.to_networkx())
+        assert t.total_weight() == pytest.approx(
+            sum(d["weight"] for _, _, d in nxt.edges(data=True))
+        )
+
+    def test_deterministic_with_ties(self):
+        g = complete_graph(8, min_weight=1.0, max_weight=1.0)  # all ties
+        assert kruskal_mst(g) == kruskal_mst(g.copy())
+
+    def test_disconnected_raises(self):
+        g = WeightedGraph(range(4))
+        g.add_edge(0, 1, 1.0)
+        with pytest.raises(ValueError):
+            kruskal_mst(g)
+
+    def test_spans_all_vertices(self, heavy_ring):
+        t = kruskal_mst(heavy_ring)
+        assert set(t.vertices()) == set(heavy_ring.vertices())
+        assert t.is_tree()
+
+
+class TestBoruvka:
+    def test_agrees_with_kruskal(self, medium_er):
+        res = boruvka_mst(medium_er)
+        assert res.tree == kruskal_mst(medium_er)
+
+    def test_agrees_on_tied_weights(self):
+        g = ring_of_cliques(3, 4, intra_weight=1.0, inter_weight=1.0)
+        assert boruvka_mst(g).tree == kruskal_mst(g)
+
+    def test_phase_count_logarithmic(self, medium_er):
+        res = boruvka_mst(medium_er)
+        assert res.phases <= math.ceil(math.log2(medium_er.n)) + 1
+
+    def test_rounds_ledger_populated(self, small_er):
+        res = boruvka_mst(small_er, bfs_height=4)
+        assert res.rounds > 0
+        assert any("moe-convergecast" in p for p in res.ledger.by_phase())
+
+    def test_disconnected_raises(self):
+        g = WeightedGraph(range(4))
+        g.add_edge(0, 1, 1.0)
+        with pytest.raises(ValueError):
+            boruvka_mst(g)
+
+    def test_single_vertex(self):
+        g = WeightedGraph([0])
+        res = boruvka_mst(g)
+        assert res.tree.n == 1
+        assert res.phases == 0
+
+
+class TestFragments:
+    def test_partition_covers_all_vertices(self):
+        t = random_tree(50, seed=1)
+        decomp = decompose_fragments(t, 0)
+        all_members = set()
+        for frag in decomp.fragments:
+            assert not (all_members & frag.members), "fragments must be disjoint"
+            all_members |= frag.members
+        assert all_members == set(t.vertices())
+
+    def test_fragment_count_is_o_sqrt_n(self):
+        t = random_tree(100, seed=2)
+        decomp = decompose_fragments(t, 0)
+        s = math.isqrt(99) + 1
+        assert decomp.num_fragments <= 100 // s + 1
+
+    def test_fragments_are_connected_subtrees(self):
+        t = random_tree(60, seed=3)
+        decomp = decompose_fragments(t, 0)
+        for frag in decomp.fragments:
+            sub = t.subgraph(frag.members)
+            assert sub.is_connected()
+            assert sub.m == len(frag.members) - 1  # subtree
+
+    def test_hop_diameter_bounded(self):
+        t = random_tree(100, seed=4)
+        s = math.isqrt(99) + 1
+        decomp = decompose_fragments(t, 0, target_size=s)
+        assert decomp.max_hop_diameter() <= 2 * s
+
+    def test_root_fragment_is_index_zero(self):
+        t = random_tree(40, seed=5)
+        decomp = decompose_fragments(t, 7)
+        assert 7 in decomp.fragments[0].members
+        assert decomp.fragment_parent[0] is None
+
+    def test_external_edges_connect_fragment_tree(self):
+        t = random_tree(80, seed=6)
+        decomp = decompose_fragments(t, 0)
+        assert len(decomp.external_edges) == decomp.num_fragments - 1
+        for child_root, parent_vertex, w in decomp.external_edges:
+            assert t.has_edge(child_root, parent_vertex)
+            assert t.weight(child_root, parent_vertex) == w
+            assert (
+                decomp.fragment_of[child_root] != decomp.fragment_of[parent_vertex]
+            )
+
+    def test_fragment_parent_consistent(self):
+        t = random_tree(80, seed=7)
+        decomp = decompose_fragments(t, 0)
+        for frag in decomp.fragments:
+            parent_idx = decomp.fragment_parent[frag.index]
+            if parent_idx is None:
+                assert frag.index == 0
+            else:
+                assert 0 <= parent_idx < decomp.num_fragments
+
+    def test_path_tree_single_fragment_chain(self):
+        t = path_graph(16)
+        decomp = decompose_fragments(t, 0, target_size=4)
+        assert decomp.num_fragments == 4
+        assert decomp.max_hop_diameter() <= 8
+
+    def test_non_tree_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            decompose_fragments(triangle, 0)
+
+    def test_bad_root_rejected(self):
+        t = random_tree(10, seed=8)
+        with pytest.raises(ValueError):
+            decompose_fragments(t, 999)
+
+    def test_star_tree_high_degree_root(self):
+        from repro.graphs import star_graph
+
+        t = star_graph(50)  # star is already a tree
+        decomp = decompose_fragments(t, 0)
+        assert decomp.max_hop_diameter() <= 2 * (math.isqrt(49) + 1)
+        members = set()
+        for f in decomp.fragments:
+            members |= f.members
+        assert members == set(t.vertices())

@@ -1,0 +1,110 @@
+"""Tests for the hierarchical nets built on §6."""
+
+import random
+
+import pytest
+
+from repro.analysis import verify_net
+from repro.core.net_hierarchy import build_net_hierarchy
+from repro.graphs import dijkstra, path_graph, random_geometric_graph
+
+
+@pytest.fixture
+def geo():
+    return random_geometric_graph(30, seed=11)
+
+
+class TestGreedyHierarchy:
+    def test_every_level_is_valid_net(self, geo):
+        h = build_net_hierarchy(geo, eps=0.5, method="greedy", nested=False)
+        for lvl in h.levels:
+            verify_net(geo, lvl.points, lvl.alpha, lvl.beta)
+
+    def test_nested_levels_are_subsets(self, geo):
+        h = build_net_hierarchy(geo, eps=0.5, method="greedy", nested=True)
+        assert h.nested
+        for fine, coarse in zip(h.levels, h.levels[1:]):
+            assert coarse.points <= fine.points
+
+    def test_nested_levels_separated(self, geo):
+        """Even nested, every level keeps its own separation."""
+        h = build_net_hierarchy(geo, eps=0.5, method="greedy", nested=True)
+        for lvl in h.levels:
+            pts = sorted(lvl.points, key=repr)
+            for p in pts:
+                dp, _ = dijkstra(geo, p)
+                for q in pts:
+                    if q != p:
+                        assert dp[q] > lvl.beta - 1e-9
+
+    def test_nested_covering_telescopes(self, geo):
+        """Level-i points cover V within sum of scales <= scale·(1+ε)/ε
+        — the net-tree covering bound."""
+        eps = 0.5
+        h = build_net_hierarchy(geo, eps=eps, method="greedy", nested=True)
+        for lvl in h.levels:
+            dist, _ = dijkstra(geo, lvl.points)
+            telescoped = lvl.scale * (1 + eps) / eps
+            for v in geo.vertices():
+                assert dist[v] <= telescoped + 1e-9
+
+    def test_bottom_level_is_everything(self, geo):
+        h = build_net_hierarchy(geo, eps=0.5, method="greedy", nested=True)
+        # scale 1 < min edge weight, so every vertex is its own net point
+        if geo.min_weight() > 1.0:
+            assert h.levels[0].points == set(geo.vertices())
+
+    def test_top_level_singleton(self, geo):
+        h = build_net_hierarchy(geo, eps=0.5, method="greedy", nested=True)
+        assert len(h.levels[-1].points) == 1
+
+    def test_level_sizes_weakly_decreasing_when_nested(self, geo):
+        h = build_net_hierarchy(geo, eps=0.5, method="greedy", nested=True)
+        sizes = [len(l.points) for l in h.levels]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestDistributedHierarchy:
+    def test_levels_valid(self):
+        g = random_geometric_graph(20, seed=12)
+        h = build_net_hierarchy(
+            g, eps=1.0, method="distributed", rng=random.Random(0),
+            max_scale=200.0,
+        )
+        for lvl in h.levels:
+            verify_net(g, lvl.points, lvl.alpha, lvl.beta)
+        assert h.ledger.total > 0
+        assert not h.nested  # Theorem-3 nets are per-scale independent
+
+
+class TestQueries:
+    def test_level_for_distance(self, geo):
+        h = build_net_hierarchy(geo, eps=0.5, method="greedy")
+        lvl = h.level_for_distance(10.0)
+        assert lvl.scale >= 10.0
+        assert h.level_for_distance(1e18) is h.levels[-1]
+
+    def test_nearest_net_point_within_alpha(self, geo):
+        h = build_net_hierarchy(geo, eps=0.5, method="greedy", nested=False)
+        mid = h.num_levels // 2
+        v = next(iter(geo.vertices()))
+        p = h.nearest_net_point(v, mid)
+        dist, _ = dijkstra(geo, p)
+        assert dist[v] <= h.levels[mid].alpha + 1e-9
+
+    def test_invalid_params(self, geo):
+        with pytest.raises(ValueError):
+            build_net_hierarchy(geo, eps=0.0)
+        with pytest.raises(ValueError):
+            build_net_hierarchy(geo, eps=0.5, method="magic")
+
+    def test_path_graph_hierarchy_shape(self):
+        g = path_graph(64)
+        h = build_net_hierarchy(g, eps=1.0, method="greedy", nested=True)
+        # scales 1, 2, 4, ...: level sizes shrink roughly geometrically
+        # (scale-1 net of a unit path keeps every other vertex)
+        sizes = [len(l.points) for l in h.levels]
+        assert sizes[0] == 32
+        assert sizes[-1] == 1
+        for fine, coarse in zip(sizes, sizes[1:]):
+            assert coarse <= fine

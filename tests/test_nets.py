@@ -1,0 +1,121 @@
+"""Tests for the §6 net construction (Theorem 3)."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis import verify_net
+from repro.core import build_net, greedy_net
+from repro.graphs import (
+    dijkstra,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+    random_geometric_graph,
+)
+
+
+class TestBuildNet:
+    @pytest.mark.parametrize("delta_param", [5.0, 20.0, 60.0])
+    def test_covering_and_separation(self, medium_er, delta_param):
+        res = build_net(medium_er, delta_param, 0.5, random.Random(0))
+        verify_net(medium_er, res.points, res.alpha, res.beta)
+
+    @pytest.mark.parametrize("delta", [0.25, 0.5, 0.75])
+    def test_delta_parameter_sweeps(self, small_er, delta):
+        res = build_net(small_er, 15.0, delta, random.Random(1))
+        assert res.alpha == pytest.approx((1 + delta) * 15.0)
+        assert res.beta == pytest.approx(15.0 / (1 + delta))
+        verify_net(small_er, res.points, res.alpha, res.beta)
+
+    def test_tiny_radius_selects_everyone(self, small_er):
+        res = build_net(small_er, 0.5, 0.5, random.Random(2))
+        assert res.points == set(small_er.vertices())
+        assert res.iterations == 1
+
+    def test_huge_radius_selects_single_point(self, small_er):
+        res = build_net(small_er, 1e6, 0.5, random.Random(3))
+        assert len(res.points) == 1
+
+    def test_iterations_logarithmic(self):
+        g = erdos_renyi_graph(80, 0.15, seed=4)
+        res = build_net(g, 40.0, 0.5, random.Random(4))
+        assert res.iterations <= 4 * math.ceil(math.log2(80))
+
+    def test_active_history_strictly_decreasing(self, medium_er):
+        res = build_net(medium_er, 25.0, 0.5, random.Random(5))
+        assert res.active_history[0] == medium_er.n
+        assert all(a > b for a, b in zip(res.active_history, res.active_history[1:]))
+
+    def test_net_size_decreases_with_radius(self, medium_er):
+        sizes = []
+        for delta_param in (2.0, 20.0, 200.0):
+            res = build_net(medium_er, delta_param, 0.5, random.Random(6))
+            sizes.append(len(res.points))
+        assert sizes[0] >= sizes[1] >= sizes[2]
+
+    def test_rounds_charged_per_iteration(self, small_er):
+        res = build_net(small_er, 15.0, 0.5, random.Random(7))
+        phases = res.ledger.by_phase()
+        assert any("le-lists" in p for p in phases)
+        assert any("approx-spt" in p for p in phases)
+        assert res.rounds > 0
+
+    def test_path_graph_net_spacing(self):
+        g = path_graph(50)  # unit weights
+        res = build_net(g, 4.0, 0.5, random.Random(8))
+        verify_net(g, res.points, res.alpha, res.beta)
+        # at least n / (2α + 1) points are needed to cover a path
+        assert len(res.points) >= 50 / (2 * res.alpha + 1) - 1
+
+    def test_invalid_parameters(self, small_er):
+        with pytest.raises(ValueError):
+            build_net(small_er, -1.0, 0.5)
+        with pytest.raises(ValueError):
+            build_net(small_er, 5.0, 0.0)
+        with pytest.raises(ValueError):
+            build_net(small_er, 5.0, 1.0)
+
+    def test_deterministic_given_seed(self, small_er):
+        a = build_net(small_er, 20.0, 0.5, random.Random(42))
+        b = build_net(small_er, 20.0, 0.5, random.Random(42))
+        assert a.points == b.points
+
+
+class TestGreedyNet:
+    @pytest.mark.parametrize("radius", [3.0, 10.0, 40.0])
+    def test_is_r_r_net(self, medium_er, radius):
+        pts = greedy_net(medium_er, radius)
+        verify_net(medium_er, pts, radius, radius)
+
+    def test_first_vertex_always_kept(self, small_er):
+        pts = greedy_net(small_er, 10.0)
+        assert min(small_er.vertices(), key=repr) in pts
+
+    def test_grid_packing(self):
+        g = grid_graph(8, 8)  # unit weights
+        pts = greedy_net(g, 2.0)
+        verify_net(g, pts, 2.0, 2.0)
+        assert 4 <= len(pts) <= 20
+
+    def test_greedy_not_larger_than_distributed_by_much(self, medium_er):
+        """Both are maximal-independent-style nets; sizes comparable."""
+        g_pts = greedy_net(medium_er, 20.0)
+        d_res = build_net(medium_er, 20.0, 0.5, random.Random(0))
+        assert len(d_res.points) <= 4 * len(g_pts) + 4
+        assert len(g_pts) <= 4 * len(d_res.points) + 4
+
+
+class TestDistributedNetOnDoublingGraphs:
+    def test_geometric_graph(self, geometric):
+        res = build_net(geometric, 30.0, 0.5, random.Random(1))
+        verify_net(geometric, res.points, res.alpha, res.beta)
+
+    def test_packing_bound_on_net_size(self, geometric):
+        """Claim 7: an r-separated set has at most ⌈2L/r⌉ points."""
+        from repro.mst.kruskal import kruskal_mst
+
+        res = build_net(geometric, 25.0, 0.5, random.Random(2))
+        mst_w = kruskal_mst(geometric).total_weight()
+        assert len(res.points) <= math.ceil(2 * mst_w / res.beta)

@@ -1,0 +1,77 @@
+"""Tests for the hypercube / random-regular / barbell generators."""
+
+import pytest
+
+from repro.graphs import (
+    barbell_graph,
+    hop_diameter,
+    hypercube_graph,
+    random_regular_graph,
+)
+
+
+class TestHypercube:
+    def test_shape(self):
+        g = hypercube_graph(4)
+        assert g.n == 16
+        assert g.m == 4 * 16 // 2
+        assert all(g.degree(v) == 4 for v in g.vertices())
+
+    def test_hop_diameter_is_dim(self):
+        assert hop_diameter(hypercube_graph(5)) == 5
+
+    def test_jitter_bounds(self):
+        g = hypercube_graph(3, weight=2.0, jitter=0.5, seed=1)
+        for _, _, w in g.edges():
+            assert 2.0 <= w <= 3.0
+
+    def test_connected(self):
+        assert hypercube_graph(6).is_connected()
+
+
+class TestRandomRegular:
+    def test_degree_close_to_target(self):
+        g = random_regular_graph(40, 4, seed=1)
+        degrees = [g.degree(v) for v in g.vertices()]
+        assert min(degrees) >= 3  # pairing + backbone
+        assert max(degrees) <= 7
+
+    def test_connected(self):
+        assert random_regular_graph(50, 3, seed=2).is_connected()
+
+    def test_seeded_deterministic(self):
+        assert random_regular_graph(30, 3, seed=5) == random_regular_graph(30, 3, seed=5)
+
+    def test_degree_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(5, 5)
+
+    def test_expander_like_small_diameter(self):
+        g = random_regular_graph(64, 4, seed=3)
+        assert hop_diameter(g) <= 8  # log-ish diameter
+
+
+class TestBarbell:
+    def test_shape(self):
+        g = barbell_graph(5, 6)
+        assert g.n == 5 + 6 + 5
+        assert g.is_connected()
+
+    def test_large_hop_diameter(self):
+        g = barbell_graph(4, 20)
+        assert hop_diameter(g) >= 20
+
+    def test_cliques_are_complete(self):
+        g = barbell_graph(4, 3)
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert g.has_edge(i, j)
+
+    def test_works_as_slt_workload(self):
+        """The D-dominated regime: constructions still meet guarantees."""
+        from repro.analysis import verify_slt
+        from repro.core import shallow_light_tree
+
+        g = barbell_graph(5, 12)
+        res = shallow_light_tree(g, 0, alpha=6.0)
+        verify_slt(g, res.tree, 0, res.stretch_bound, 6.0)

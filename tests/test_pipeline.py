@@ -1,0 +1,91 @@
+"""Tests for the native pipelined broadcast/convergecast (Lemma 1)."""
+
+import pytest
+
+from repro.congest import (
+    broadcast_messages,
+    broadcast_rounds,
+    build_bfs_tree,
+    convergecast_messages,
+    convergecast_rounds,
+)
+from repro.graphs import erdos_renyi_graph, grid_graph, path_graph, star_graph
+
+
+def _payloads(graph, per_vertex):
+    return {
+        v: [f"m{v}-{i}" for i in range(per_vertex)] for v in graph.vertices()
+    }
+
+
+class TestConvergecast:
+    def test_all_messages_reach_root(self):
+        g = grid_graph(4, 4)
+        tree = build_bfs_tree(g, 0)
+        payloads = _payloads(g, 2)
+        received, rounds = convergecast_messages(g, tree, payloads)
+        expected = sorted(m for msgs in payloads.values() for m in msgs)
+        assert sorted(received) == expected
+
+    def test_rounds_within_lemma1(self):
+        g = grid_graph(5, 5)
+        tree = build_bfs_tree(g, 0)
+        payloads = _payloads(g, 1)
+        total = sum(len(v) for v in payloads.values())
+        _, rounds = convergecast_messages(g, tree, payloads)
+        assert rounds <= convergecast_rounds(total, tree.height) + 3
+
+    def test_empty_payloads(self):
+        g = path_graph(5)
+        tree = build_bfs_tree(g, 0)
+        received, rounds = convergecast_messages(g, tree, {})
+        assert received == []
+        assert rounds <= 3
+
+    def test_single_sender_far_from_root(self):
+        g = path_graph(10)
+        tree = build_bfs_tree(g, 0)
+        received, rounds = convergecast_messages(g, tree, {9: ["hello"]})
+        assert received == ["hello"]
+        assert rounds <= tree.height + 3  # latency-dominated
+
+
+class TestBroadcast:
+    def test_everyone_receives_everything(self):
+        g = erdos_renyi_graph(20, 0.2, seed=1)
+        tree = build_bfs_tree(g, 0)
+        payloads = {0: ["a"], 7: ["b"], 13: ["c", "d"]}
+        received, _ = broadcast_messages(g, tree, payloads)
+        expected = sorted("abcd")
+        for v in g.vertices():
+            assert sorted(received[v]) == expected
+
+    def test_rounds_within_lemma1_two_way(self):
+        """Up-cast + down-cast: M + 2·height + O(1)."""
+        g = grid_graph(4, 5)
+        tree = build_bfs_tree(g, 0)
+        payloads = _payloads(g, 1)
+        total = sum(len(v) for v in payloads.values())
+        _, rounds = broadcast_messages(g, tree, payloads)
+        assert rounds <= total + 2 * tree.height + 4
+
+    def test_star_topology_bandwidth_respected(self):
+        """On a star, the hub forwards one message per edge per round —
+        the run must still finish within Lemma 1's budget and never trip
+        the bandwidth checker."""
+        g = star_graph(12)
+        tree = build_bfs_tree(g, 0)
+        payloads = _payloads(g, 1)
+        received, rounds = broadcast_messages(g, tree, payloads)
+        assert all(len(received[v]) == 12 for v in g.vertices())
+        assert rounds <= 12 + 2 * tree.height + 4
+
+    def test_ledger_model_is_an_upper_bound_in_practice(self):
+        """The Lemma-1 charge (M + height) must not underestimate the
+        real one-way pipeline by more than the two-way constant."""
+        g = erdos_renyi_graph(25, 0.15, seed=2)
+        tree = build_bfs_tree(g, 0)
+        payloads = {v: ["x"] for v in list(g.vertices())[:10]}
+        _, measured = broadcast_messages(g, tree, payloads)
+        charged = broadcast_rounds(10, tree.height)
+        assert measured <= 2 * charged + 4

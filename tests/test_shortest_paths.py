@@ -1,0 +1,135 @@
+"""Unit tests for the sequential shortest-path routines."""
+
+import pytest
+
+from repro.graphs import (
+    WeightedGraph,
+    cycle_graph,
+    dijkstra,
+    dijkstra_path,
+    bounded_dijkstra,
+    all_pairs_shortest_paths,
+    eccentricity,
+    grid_graph,
+    hop_distances,
+    hop_diameter,
+    path_graph,
+)
+from repro.graphs.shortest_paths import path_weight, strong_diameter, weak_diameter
+
+
+class TestDijkstra:
+    def test_path_graph_distances(self):
+        g = path_graph(5, [1.0, 2.0, 3.0, 4.0])
+        dist, parent = dijkstra(g, 0)
+        assert dist == {0: 0.0, 1: 1.0, 2: 3.0, 3: 6.0, 4: 10.0}
+        assert parent[4] == 3 and parent[0] is None
+
+    def test_prefers_light_detour(self):
+        g = WeightedGraph()
+        g.add_edge(0, 1, 10.0)
+        g.add_edge(0, 2, 1.0)
+        g.add_edge(2, 1, 1.0)
+        dist, parent = dijkstra(g, 0)
+        assert dist[1] == 2.0
+        assert parent[1] == 2
+
+    def test_multi_source(self):
+        g = path_graph(7)
+        dist, _ = dijkstra(g, [0, 6])
+        assert dist[3] == 3.0
+        assert dist[1] == 1.0
+        assert dist[5] == 1.0
+
+    def test_unreachable_absent(self):
+        g = WeightedGraph(range(3))
+        g.add_edge(0, 1, 1.0)
+        dist, _ = dijkstra(g, 0)
+        assert 2 not in dist
+
+    def test_weight_override(self):
+        g = path_graph(3, [1.0, 1.0])
+        dist, _ = dijkstra(g, 0, weight_override={(1, 2): 10.0})
+        assert dist[2] == 11.0
+
+
+class TestDijkstraPath:
+    def test_returns_actual_path(self, triangle):
+        d, path = dijkstra_path(triangle, 0, 2)
+        assert d == pytest.approx(2.5)
+        assert path == [0, 2]
+        assert path_weight(triangle, path) == pytest.approx(d)
+
+    def test_unreachable_raises(self):
+        g = WeightedGraph(range(2))
+        with pytest.raises(ValueError):
+            dijkstra_path(g, 0, 1)
+
+
+class TestBoundedDijkstra:
+    def test_respects_radius(self):
+        g = path_graph(10)
+        dist, _ = bounded_dijkstra(g, 0, 3.0)
+        assert set(dist) == {0, 1, 2, 3}
+
+    def test_matches_unbounded_within_ball(self, small_er):
+        full, _ = dijkstra(small_er, 0)
+        bounded, _ = bounded_dijkstra(small_er, 0, 50.0)
+        for v, d in bounded.items():
+            assert d == pytest.approx(full[v])
+        for v, d in full.items():
+            if d <= 50.0:
+                assert v in bounded
+
+
+class TestHopMetrics:
+    def test_hop_distances_ignore_weights(self):
+        g = path_graph(4, [100.0, 0.5, 7.0])
+        hops = hop_distances(g, 0)
+        assert hops == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_hop_diameter_cycle(self):
+        assert hop_diameter(cycle_graph(8)) == 4
+
+    def test_hop_diameter_grid(self):
+        assert hop_diameter(grid_graph(3, 4)) == 5
+
+    def test_hop_diameter_disconnected_raises(self):
+        g = WeightedGraph(range(3))
+        g.add_edge(0, 1, 1.0)
+        with pytest.raises(ValueError):
+            hop_diameter(g)
+
+
+class TestDiameters:
+    def test_eccentricity(self):
+        g = path_graph(4, [1.0, 1.0, 1.0])
+        assert eccentricity(g, 0) == 3.0
+        assert eccentricity(g, 1) == 2.0
+
+    def test_weak_vs_strong_diameter(self):
+        # cluster {0, 2} in a triangle with a shortcut through 1
+        g = WeightedGraph()
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, 1.0)
+        g.add_edge(0, 2, 5.0)
+        assert weak_diameter(g, [0, 2]) == pytest.approx(2.0)
+        assert strong_diameter(g, [0, 2]) == pytest.approx(5.0)
+
+    def test_strong_diameter_disconnected_cluster(self):
+        g = path_graph(3)
+        assert strong_diameter(g, [0, 2]) == float("inf")
+
+    def test_all_pairs_symmetric(self, small_er):
+        apsp = all_pairs_shortest_paths(small_er)
+        for u in small_er.vertices():
+            for v in small_er.vertices():
+                assert apsp[u][v] == pytest.approx(apsp[v][u])
+
+    def test_all_pairs_triangle_inequality(self, small_er):
+        apsp = all_pairs_shortest_paths(small_er)
+        vs = list(small_er.vertices())[:10]
+        for u in vs:
+            for v in vs:
+                for w in vs:
+                    assert apsp[u][v] <= apsp[u][w] + apsp[w][v] + 1e-9

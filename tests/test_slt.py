@@ -1,0 +1,154 @@
+"""Tests for the §4 shallow-light tree (Theorem 1)."""
+
+import pytest
+
+from repro.analysis import lightness, root_stretch, verify_slt, verify_spanning_tree
+from repro.baselines import kry_slt
+from repro.core import shallow_light_tree, slt_base
+from repro.graphs import (
+    erdos_renyi_graph,
+    random_geometric_graph,
+    ring_of_cliques,
+    star_graph,
+)
+from repro.mst.kruskal import kruskal_mst
+
+
+class TestSLTBase:
+    @pytest.mark.parametrize("eps", [0.25, 0.5, 1.0])
+    def test_guarantees_hold(self, medium_er, eps):
+        res = slt_base(medium_er, 0, eps)
+        verify_slt(medium_er, res.tree, 0, res.stretch_bound, res.lightness_bound)
+
+    def test_is_spanning_tree(self, medium_er):
+        res = slt_base(medium_er, 0, 0.5)
+        verify_spanning_tree(medium_er, res.tree)
+
+    def test_measured_far_below_bounds(self, medium_er):
+        """On benign inputs the construction is much better than the
+        worst-case constants."""
+        res = slt_base(medium_er, 0, 0.5)
+        assert root_stretch(medium_er, res.tree, 0) <= 1 + 5 * 0.5
+        assert lightness(medium_er, res.tree) <= 1 + 8 / 0.5
+
+    def test_star_rim_classic_tradeoff(self):
+        """The star+rim where the MST has terrible root stretch: the SLT
+        must fix the stretch while staying light."""
+        g = star_graph(20, spoke_weight=10.0, rim_weight=1.0)
+        mst = kruskal_mst(g)
+        assert root_stretch(g, mst, 0) > 1.8  # MST alone is bad
+        res = slt_base(g, 0, 0.5)
+        assert root_stretch(g, res.tree, 0) <= res.stretch_bound
+        verify_slt(g, res.tree, 0, res.stretch_bound, res.lightness_bound)
+
+    def test_smaller_eps_means_better_stretch(self, medium_er):
+        tight = slt_base(medium_er, 0, 0.1)
+        loose = slt_base(medium_er, 0, 1.0)
+        assert root_stretch(medium_er, tight.tree, 0) <= root_stretch(
+            medium_er, loose.tree, 0
+        ) + 1e-9
+
+    def test_break_points_structure(self, medium_er):
+        res = slt_base(medium_er, 0, 0.5)
+        assert 0 in res.break_points  # rt always a break point (BP2)
+        assert res.anchor_points[0] == 0
+        assert all(0 <= b < 2 * medium_er.n - 1 for b in res.break_points)
+
+    def test_h_contains_mst_and_tree(self, medium_er):
+        res = slt_base(medium_er, 0, 0.5)
+        mst = kruskal_mst(medium_er)
+        for u, v, _ in mst.edges():
+            assert res.intermediate.has_edge(u, v)
+        for u, v, _ in res.tree.edges():
+            assert res.intermediate.has_edge(u, v)
+
+    def test_corollary_3_lightness_of_h(self, medium_er):
+        """w(H) <= (1 + 4/ε)·w(T) — Corollary 3."""
+        for eps in (0.25, 0.5, 1.0):
+            res = slt_base(medium_er, 0, eps)
+            mst_w = kruskal_mst(medium_er).total_weight()
+            assert res.intermediate.total_weight() <= (1 + 4 / eps) * mst_w + 1e-6
+
+    def test_round_accounting_phases(self, medium_er):
+        res = slt_base(medium_er, 0, 0.5)
+        phases = res.ledger.by_phase()
+        for expected in (
+            "bfs-tree",
+            "mst-construction",
+            "approx-spt-G",
+            "bp1-interval-scan",
+            "bp2-convergecast",
+            "bp2-broadcast",
+            "abp-local",
+            "abp-broadcast",
+            "approx-spt-H",
+        ):
+            assert expected in phases, expected
+        assert any(p.startswith("tour:") for p in phases)
+
+    def test_invalid_eps(self, small_er):
+        with pytest.raises(ValueError):
+            slt_base(small_er, 0, 0.0)
+        with pytest.raises(ValueError):
+            slt_base(small_er, 0, 1.5)
+
+
+class TestTheorem1Parametrization:
+    @pytest.mark.parametrize("alpha", [6.0, 10.0, 21.0])
+    def test_direct_regime(self, medium_er, alpha):
+        res = shallow_light_tree(medium_er, 0, alpha)
+        verify_slt(medium_er, res.tree, 0, res.stretch_bound, alpha)
+
+    @pytest.mark.parametrize("alpha", [1.2, 1.5, 2.0, 4.0])
+    def test_bfn_regime_lightness_close_to_one(self, medium_er, alpha):
+        res = shallow_light_tree(medium_er, 0, alpha)
+        verify_slt(medium_er, res.tree, 0, res.stretch_bound, alpha)
+
+    def test_bfn_regime_is_actually_light(self, medium_er):
+        res = shallow_light_tree(medium_er, 0, 1.1)
+        assert lightness(medium_er, res.tree) <= 1.1 + 1e-9
+
+    def test_stretch_bound_shrinks_with_alpha(self, medium_er):
+        loose = shallow_light_tree(medium_er, 0, 2.0)
+        tight = shallow_light_tree(medium_er, 0, 30.0)
+        assert tight.stretch_bound < loose.stretch_bound
+
+    def test_alpha_at_most_one_rejected(self, small_er):
+        with pytest.raises(ValueError):
+            shallow_light_tree(small_er, 0, 1.0)
+
+    @pytest.mark.parametrize("alpha", [1.5, 8.0])
+    def test_works_on_all_workloads(self, workload, alpha):
+        root = min(workload.vertices(), key=repr)
+        res = shallow_light_tree(workload, root, alpha)
+        verify_slt(workload, res.tree, root, res.stretch_bound, alpha)
+
+
+class TestKRYBaseline:
+    @pytest.mark.parametrize("eps", [0.25, 0.5, 1.0])
+    def test_guarantees(self, medium_er, eps):
+        res = kry_slt(medium_er, 0, eps)
+        verify_slt(medium_er, res.tree, 0, 1 + 2 * eps, 1 + 2 / eps)
+
+    def test_on_heavy_ring(self, heavy_ring):
+        root = min(heavy_ring.vertices(), key=repr)
+        res = kry_slt(heavy_ring, root, 0.5)
+        verify_slt(heavy_ring, res.tree, root, 2.0, 5.0)
+
+    def test_sequential_scan_charged_linear(self, medium_er):
+        res = kry_slt(medium_er, 0, 0.5)
+        assert res.ledger.by_phase()["sequential-scan"] == 2 * medium_er.n - 1
+
+    def test_invalid_eps(self, small_er):
+        with pytest.raises(ValueError):
+            kry_slt(small_er, 0, -1.0)
+
+    def test_two_phase_lightness_within_constant_of_sequential(self, medium_er):
+        """§4.1's analysis: the two-step choice of break points loses only
+        a constant factor in the lightness vs the sequential scan."""
+        eps = 0.5
+        ours = slt_base(medium_er, 0, eps)
+        seq = kry_slt(medium_er, 0, eps)
+        ours_light = lightness(medium_er, ours.intermediate)
+        seq_light = lightness(medium_er, seq.intermediate)
+        assert ours_light <= 3 * seq_light + 1e-9
