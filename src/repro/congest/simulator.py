@@ -16,9 +16,10 @@ constraints:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Tuple, Union
 
 from repro.congest.algorithm import CongestAlgorithm, NodeView
+from repro.graphs.csr import CSRGraph
 from repro.graphs.weighted_graph import WeightedGraph
 
 Vertex = Hashable
@@ -61,7 +62,10 @@ class SyncNetwork:
     ----------
     graph:
         The communication graph (also the input graph — per the model,
-        every node knows its incident edges and their weights).
+        every node knows its incident edges and their weights).  Either a
+        :class:`WeightedGraph` or a frozen :class:`CSRGraph`; internally
+        the network relabels nodes to dense indices once so the per-round
+        message fan-out runs over flat lists instead of label-keyed dicts.
     words_per_message:
         Per-edge-per-round bandwidth in words.  The model allows O(log n)
         bits ≈ O(1) words; the default of 4 accommodates the paper's
@@ -74,7 +78,7 @@ class SyncNetwork:
 
     def __init__(
         self,
-        graph: WeightedGraph,
+        graph: Union[WeightedGraph, CSRGraph],
         words_per_message: int = 4,
         strict_bandwidth: bool = True,
     ) -> None:
@@ -84,8 +88,14 @@ class SyncNetwork:
         self.rounds_executed = 0
         self.messages_sent = 0
         self.words_sent = 0
+        # dense relabeling: node i of the round loop is label _verts[i]
+        self._verts: List[Vertex] = list(graph.vertices())
+        self._vidx: Dict[Vertex, int] = {v: i for i, v in enumerate(self._verts)}
+        self._view_list: List[NodeView] = [
+            NodeView(v, dict(graph.neighbor_items(v))) for v in self._verts
+        ]
         self._views: Dict[Vertex, NodeView] = {
-            v: NodeView(v, dict(graph.neighbor_items(v))) for v in graph.vertices()
+            v: view for v, view in zip(self._verts, self._view_list)
         }
 
     # ------------------------------------------------------------------
@@ -106,8 +116,9 @@ class SyncNetwork:
             view.state = {}
 
     # ------------------------------------------------------------------
-    def _check_outbox(self, sender: Vertex, outbox: Dict[Vertex, Any]) -> None:
-        view = self._views[sender]
+    def _check_outbox(
+        self, sender: Vertex, view: NodeView, outbox: Dict[Vertex, Any]
+    ) -> None:
         for dst, payload in outbox.items():
             if dst not in view._incident:
                 raise ValueError(
@@ -141,20 +152,29 @@ class SyncNetwork:
             algorithms are bugs; the paper's algorithms all have explicit
             round bounds).
         """
-        inflight: Dict[Vertex, Dict[Vertex, Any]] = {v: {} for v in self._views}
+        # message fan-out over dense indices: inflight[i] is the inbox of
+        # node self._verts[i] for the next round (keys stay labels — the
+        # NodeView API promises sender ids)
+        n = len(self._verts)
+        verts, vidx, view_list = self._verts, self._vidx, self._view_list
+        inflight: List[Dict[Vertex, Any]] = [{} for _ in range(n)]
 
         # Round 0: setup.
         any_message = False
-        for v, view in self._views.items():
+        for i in range(n):
+            view = view_list[i]
             outbox = algorithm.setup(view) or {}
-            self._check_outbox(v, outbox)
+            sender = verts[i]
+            self._check_outbox(sender, view, outbox)
             for dst, payload in outbox.items():
-                inflight[dst][v] = payload
+                inflight[vidx[dst]][sender] = payload
                 any_message = True
         self.rounds_executed = 1
 
+        is_done = algorithm.is_done
+        step = algorithm.step
         while True:
-            all_done = all(algorithm.is_done(view) for view in self._views.values())
+            all_done = all(is_done(view) for view in view_list)
             if quiesce and all_done and not any_message:
                 break
             if self.rounds_executed >= max_rounds:
@@ -164,17 +184,20 @@ class SyncNetwork:
                     f"algorithm did not terminate within {max_rounds} rounds"
                 )
             delivery = inflight
-            inflight = {v: {} for v in self._views}
+            inflight = [{} for _ in range(n)]
             any_message = False
-            for v, view in self._views.items():
-                outbox = algorithm.step(view, delivery[v]) or {}
-                self._check_outbox(v, outbox)
-                for dst, payload in outbox.items():
-                    inflight[dst][v] = payload
-                    any_message = True
+            for i in range(n):
+                view = view_list[i]
+                outbox = step(view, delivery[i]) or {}
+                if outbox:
+                    sender = verts[i]
+                    self._check_outbox(sender, view, outbox)
+                    for dst, payload in outbox.items():
+                        inflight[vidx[dst]][sender] = payload
+                        any_message = True
             self.rounds_executed += 1
 
-        for view in self._views.values():
+        for view in view_list:
             algorithm.finish(view)
         return self.rounds_executed
 

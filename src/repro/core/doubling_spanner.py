@@ -27,10 +27,11 @@ from typing import Dict, Hashable, List, Optional, Set, Tuple
 from repro.congest.bfs import build_bfs_tree
 from repro.congest.ledger import RoundLedger
 from repro.core.nets import build_net, greedy_net
+from repro.graphs.csr import CSRGraph
 from repro.graphs.weighted_graph import Vertex, WeightedGraph
 from repro.hopsets.hopset import bounded_exploration_cost, en16_round_cost
 from repro.mst.kruskal import kruskal_mst
-from repro.spt.approx_spt import _round_up_weight
+from repro.spt.approx_spt import bounded_approx_spt
 
 
 @dataclass
@@ -75,37 +76,21 @@ class DoublingSpannerResult:
 
 
 def _bounded_exploration(
-    graph: WeightedGraph, source: Vertex, radius: float, eps: float
+    graph: "WeightedGraph | CSRGraph", source: Vertex, radius: float, eps: float
 ) -> Tuple[Dict[Vertex, float], Dict[Vertex, Optional[Vertex]]]:
     """Single-source ``radius``-bounded (1+ε)-approximate exploration.
 
     Priorities use weights rounded up to powers of (1+ε) (the same
     concrete approximation as everywhere in the library); pruning uses
     true accumulated weight so reported paths genuinely fit the bound.
+    The single-source case of :func:`~repro.spt.approx_spt.bounded_approx_spt`
+    (origin tracking discarded), which runs over the graph's CSR index
+    arrays — §7 launches one exploration per net point per scale, so this
+    is the construction's hottest code.
     """
-    import heapq
-
-    rounded: Dict[Vertex, float] = {source: 0.0}
-    true: Dict[Vertex, float] = {source: 0.0}
-    parent: Dict[Vertex, Optional[Vertex]] = {source: None}
-    heap: List[Tuple[float, int, Vertex]] = [(0.0, 0, source)]
-    counter = 1
-    settled = set()
-    while heap:
-        d, _, u = heapq.heappop(heap)
-        if u in settled:
-            continue
-        settled.add(u)
-        for v, w in graph.neighbor_items(u):
-            nd = d + (_round_up_weight(w, eps) if eps > 0 else w)
-            nt = true[u] + w
-            if nt <= radius and nd < rounded.get(v, float("inf")):
-                rounded[v] = nd
-                true[v] = nt
-                parent[v] = u
-                heapq.heappush(heap, (nd, counter, v))
-                counter += 1
-    return true, parent
+    csr = graph.freeze() if isinstance(graph, WeightedGraph) else graph
+    true_dist, parent, _origin = bounded_approx_spt(csr, [source], radius, eps)
+    return true_dist, parent
 
 
 def doubling_spanner(
@@ -149,6 +134,7 @@ def doubling_spanner(
     mst_weight = kruskal_mst(graph).total_weight()
     spanner = WeightedGraph(graph.vertices())
     scales: List[ScaleStats] = []
+    csr = graph.freeze()  # shared by every per-net-point exploration
 
     base = 1.0 + eps
     num_scales = max(1, math.ceil(math.log(max(mst_weight, base), base))) + 1
@@ -183,7 +169,7 @@ def doubling_spanner(
         participation: Dict[Vertex, int] = {}
         paths_added = 0
         for u in sorted(net_points, key=repr):
-            true_dist, parent = _bounded_exploration(graph, u, radius, eps)
+            true_dist, parent = _bounded_exploration(csr, u, radius, eps)
             for v in true_dist:
                 participation[v] = participation.get(v, 0) + 1
             for v in net_points:

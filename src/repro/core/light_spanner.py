@@ -211,8 +211,12 @@ def light_spanner(
     spanner = mst.copy()
     buckets: List[BucketStats] = []
 
+    # the input graph is scanned edge-by-edge twice below (E' extraction
+    # and bucketing); both sweeps run over the frozen CSR view
+    csr = graph.freeze()
+
     # ---------------- low-weight bucket E' ----------------
-    low_edges = [(u, v) for u, v, w in graph.edges() if w <= big_l / n]
+    low_edges = [(u, v) for u, v, w in csr.edges() if w <= big_l / n]
     low_graph = graph.edge_subgraph(low_edges)
     bs_ledger = RoundLedger()
     h_prime = baswana_sen_spanner(low_graph, k, rng, bs_ledger)
@@ -235,7 +239,7 @@ def light_spanner(
     # ---------------- weight buckets E_i ----------------
     i_max = math.ceil(math.log(n, 1.0 + eps)) if n > 1 else 0
     bucket_edges: Dict[int, List[Tuple[Vertex, Vertex, float]]] = {}
-    for u, v, w in graph.edges():
+    for u, v, w in csr.edges():
         if w <= big_l / n or w > big_l:
             continue  # E' below, MST-covered above
         i = _bucket_index(w, big_l, eps)

@@ -6,7 +6,8 @@ a small adjacency-map graph tuned for the algorithms in the paper
 are provided for cross-validation in the test-suite.
 """
 
-from repro.graphs.weighted_graph import WeightedGraph
+from repro.graphs.weighted_graph import WeightedGraph, canonical_edge
+from repro.graphs.csr import CSRGraph
 from repro.graphs.shortest_paths import (
     dijkstra,
     dijkstra_path,
@@ -41,6 +42,8 @@ from repro.graphs.doubling import (
 
 __all__ = [
     "WeightedGraph",
+    "CSRGraph",
+    "canonical_edge",
     "dijkstra",
     "dijkstra_path",
     "bounded_dijkstra",

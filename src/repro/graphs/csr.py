@@ -1,0 +1,279 @@
+"""Indexed CSR (compressed-sparse-row) fast-path graph backend.
+
+:class:`~repro.graphs.weighted_graph.WeightedGraph` is the mutable
+construction layer: algorithms build, merge and prune graphs through its
+adjacency-map API.  Once a graph stops mutating, the hot loops — Dijkstra
+relaxations, spanner cluster scans, CONGEST message fan-out — pay for
+dict-of-dict iteration, per-edge ``canonical_edge`` calls and hashing of
+arbitrary vertex labels on every visit.
+
+:class:`CSRGraph` is the read-only fast path: vertices are relabelled to
+``0..n-1`` once, and the adjacency structure is flattened into three
+contiguous arrays
+
+* ``indptr``  — ``n + 1`` row offsets; the neighbours of vertex ``i``
+  occupy slots ``indptr[i]:indptr[i+1]``,
+* ``indices`` — neighbour vertex indices, sorted within each row,
+* ``weights`` — the matching edge weights (``array('d')``, contiguous
+  C doubles).
+
+Each undirected edge occupies two slots (one per direction).  Degree is
+an O(1) subtraction, edge lookup is a binary search of a sorted row, and
+the inner loops of the consumers become integer-indexed array scans with
+no hashing at all.  Build via :meth:`CSRGraph.from_weighted` or the
+:meth:`WeightedGraph.freeze` / :meth:`WeightedGraph.to_csr` bridge.
+
+The label-level inspection API (``vertices``/``edges``/``neighbors``/
+``neighbor_items``/``degree``/``has_edge``/``weight``...) mirrors
+``WeightedGraph`` so read-only consumers accept either backend; the
+index-level API (``row``, ``indices``, ``weights``, ``mirror``) is what
+the rewritten hot paths use directly.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from typing import Dict, Hashable, Iterator, List, Optional, Set, Tuple
+
+Vertex = Hashable
+Edge = Tuple[Vertex, Vertex]
+
+
+class CSRGraph:
+    """Immutable compressed-sparse-row view of a weighted undirected graph.
+
+    Instances are built once (:meth:`from_weighted`) and never mutated;
+    there are deliberately no ``add_edge``/``remove_edge`` methods.  The
+    raw arrays are public on purpose — hot loops bind them to locals and
+    scan ``indices[indptr[i]:indptr[i+1]]`` directly.
+    """
+
+    __slots__ = (
+        "indptr", "indices", "weights", "verts", "_index", "_mirror", "_sorted",
+    )
+
+    def __init__(
+        self,
+        indptr: List[int],
+        indices: List[int],
+        weights: "array[float]",
+        verts: List[Vertex],
+    ) -> None:
+        from repro.graphs.weighted_graph import vertex_le
+
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+        self.verts = verts
+        self._index: Dict[Vertex, int] = {v: i for i, v in enumerate(verts)}
+        self._mirror: Optional[List[int]] = None
+        # when the label order is already canonical (the common case:
+        # generators insert int vertices 0..n-1 in order), edges() can
+        # yield (verts[i], verts[j]) directly without re-canonicalising
+        self._sorted: bool = all(
+            vertex_le(verts[k], verts[k + 1]) for k in range(len(verts) - 1)
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_weighted(cls, graph) -> "CSRGraph":
+        """Flatten a :class:`WeightedGraph` (vertex order = insertion order)."""
+        verts: List[Vertex] = list(graph.vertices())
+        index = {v: i for i, v in enumerate(verts)}
+        n = len(verts)
+        indptr = [0] * (n + 1)
+        total = 0
+        for i, v in enumerate(verts):
+            total += graph.degree(v)
+            indptr[i + 1] = total
+        indices = [0] * total
+        weights = array("d", bytes(8 * total))
+        pos = 0
+        for v in verts:
+            row = sorted((index[u], w) for u, w in graph.neighbor_items(v))
+            for j, w in row:
+                indices[pos] = j
+                weights[pos] = w
+                pos += 1
+        return cls(indptr, indices, weights, verts)
+
+    def to_weighted(self):
+        """Thaw back into a mutable :class:`WeightedGraph`."""
+        from repro.graphs.weighted_graph import WeightedGraph
+
+        g = WeightedGraph(self.verts)
+        indptr, indices, weights, verts = (
+            self.indptr, self.indices, self.weights, self.verts,
+        )
+        for i in range(len(verts)):
+            for s in range(indptr[i], indptr[i + 1]):
+                j = indices[s]
+                if i < j:
+                    g.add_edge(verts[i], verts[j], weights[s])
+        return g
+
+    # ------------------------------------------------------------------
+    # Index-level API (the fast path)
+    # ------------------------------------------------------------------
+    def index_of(self, v: Vertex) -> int:
+        """Dense index of vertex ``v`` (KeyError if absent)."""
+        return self._index[v]
+
+    def vertex_at(self, i: int) -> Vertex:
+        """Label of the vertex with dense index ``i``."""
+        return self.verts[i]
+
+    def row(self, i: int) -> range:
+        """Slot range of vertex ``i``'s neighbours in ``indices``/``weights``."""
+        return range(self.indptr[i], self.indptr[i + 1])
+
+    def degree_idx(self, i: int) -> int:
+        """Degree of the vertex with dense index ``i`` (O(1))."""
+        return self.indptr[i + 1] - self.indptr[i]
+
+    def edge_slot(self, i: int, j: int) -> int:
+        """Slot of the directed arc ``i -> j``, or ``-1`` if absent.
+
+        Binary search of the sorted row — O(log deg(i)).
+        """
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        s = bisect_left(self.indices, j, lo, hi)
+        return s if s < hi and self.indices[s] == j else -1
+
+    def mirror(self) -> List[int]:
+        """Slot permutation mapping each arc to its reverse arc.
+
+        ``mirror()[s]`` is the slot of ``j -> i`` when slot ``s`` holds
+        ``i -> j``.  Built lazily (one binary search per arc) and cached;
+        mutating consumers (e.g. the Baswana–Sen alive-mask) use it to
+        retire both directions of an edge in O(log deg).
+        """
+        if self._mirror is None:
+            indptr, indices = self.indptr, self.indices
+            mirror = [0] * len(indices)
+            for i in range(len(self.verts)):
+                for s in range(indptr[i], indptr[i + 1]):
+                    mirror[s] = self.edge_slot(indices[s], i)
+            self._mirror = mirror
+        return self._mirror
+
+    def edges_idx(self) -> Iterator[Tuple[int, int, float]]:
+        """Each undirected edge once, as ``(i, j, w)`` with ``i < j``."""
+        indptr, indices, weights = self.indptr, self.indices, self.weights
+        for i in range(len(self.verts)):
+            for s in range(indptr[i], indptr[i + 1]):
+                j = indices[s]
+                if i < j:
+                    yield i, j, weights[s]
+
+    # ------------------------------------------------------------------
+    # Label-level API (mirrors WeightedGraph inspection)
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return len(self.verts)
+
+    @property
+    def m(self) -> int:
+        """Number of undirected edges."""
+        return len(self.indices) // 2
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over vertex labels (dense-index order)."""
+        return iter(self.verts)
+
+    def edges(self) -> Iterator[Tuple[Vertex, Vertex, float]]:
+        """Each undirected edge once, as canonical ``(u, v, weight)`` labels.
+
+        Yields the same orientation as ``WeightedGraph.edges()`` so edge
+        lists built from either backend compare equal.
+        """
+        indptr, indices, weights, verts = (
+            self.indptr, self.indices, self.weights, self.verts,
+        )
+        if self._sorted:
+            for i in range(len(verts)):
+                u = verts[i]
+                for s in range(indptr[i], indptr[i + 1]):
+                    j = indices[s]
+                    if i < j:
+                        yield u, verts[j], weights[s]
+            return
+        from repro.graphs.weighted_graph import canonical_edge
+
+        for i, j, w in self.edges_idx():
+            u, v = canonical_edge(verts[i], verts[j])
+            yield u, v, w
+
+    def edge_set(self) -> Set[Edge]:
+        """Canonical edge set (parity with ``WeightedGraph.edge_set``)."""
+        from repro.graphs.weighted_graph import canonical_edge
+
+        return {canonical_edge(u, v) for u, v, _ in self.edges()}
+
+    def neighbors(self, v: Vertex) -> Iterator[Vertex]:
+        """Neighbour labels of ``v`` (sorted by dense index)."""
+        verts = self.verts
+        for s in self.row(self._index[v]):
+            yield verts[self.indices[s]]
+
+    def neighbor_items(self, v: Vertex) -> Iterator[Tuple[Vertex, float]]:
+        """``(neighbour, weight)`` pairs of ``v``."""
+        verts, indices, weights = self.verts, self.indices, self.weights
+        for s in self.row(self._index[v]):
+            yield verts[indices[s]], weights[s]
+
+    def degree(self, v: Vertex) -> int:
+        """Degree of ``v`` (O(1))."""
+        i = self._index[v]
+        return self.indptr[i + 1] - self.indptr[i]
+
+    def has_vertex(self, v: Vertex) -> bool:
+        """True iff ``v`` is a vertex."""
+        return v in self._index
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """True iff ``{u, v}`` is an edge."""
+        iu = self._index.get(u)
+        iv = self._index.get(v)
+        if iu is None or iv is None:
+            return False
+        return self.edge_slot(iu, iv) >= 0
+
+    def weight(self, u: Vertex, v: Vertex) -> float:
+        """Weight of ``{u, v}`` (KeyError if absent)."""
+        s = self.edge_slot(self._index[u], self._index[v])
+        if s < 0:
+            raise KeyError((u, v))
+        return self.weights[s]
+
+    def total_weight(self) -> float:
+        """Sum of all edge weights."""
+        return sum(self.weights) / 2.0
+
+    def min_weight(self) -> float:
+        """Minimum edge weight (``inf`` on an edgeless graph)."""
+        return min(self.weights, default=float("inf"))
+
+    def max_weight(self) -> float:
+        """Maximum edge weight (0 on an edgeless graph)."""
+        return max(self.weights, default=0.0)
+
+    # ------------------------------------------------------------------
+    # Dunder
+    # ------------------------------------------------------------------
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._index
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self.verts)
+
+    def __len__(self) -> int:
+        return len(self.verts)
+
+    def __repr__(self) -> str:
+        return f"CSRGraph(n={self.n}, m={self.m})"

@@ -10,15 +10,68 @@ and small-graph all-pairs distances.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple, Union
 
-from repro.graphs.weighted_graph import Vertex, WeightedGraph
+from repro.graphs.csr import CSRGraph
+from repro.graphs.weighted_graph import Vertex, WeightedGraph, canonical_edge
 
 INF = float("inf")
 
+#: Read-only graph views every traversal here accepts.
+GraphLike = Union[WeightedGraph, CSRGraph]
+
+
+def _csr_dijkstra(
+    csr: CSRGraph, sources: Iterable[Vertex] | Vertex
+) -> Tuple[Dict[Vertex, float], Dict[Vertex, Optional[Vertex]]]:
+    """Array-indexed Dijkstra over a CSR graph.
+
+    The inner loop touches only dense int indices — distance/parent are
+    flat lists and heap entries are ``(float, int)`` pairs, so no vertex
+    hashing or tie-break counter is needed.  Results are converted back
+    to label-keyed dicts to match the public contract.
+    """
+    try:
+        if csr.has_vertex(sources):  # single-vertex call
+            sources = [sources]
+    except TypeError:
+        pass  # unhashable => definitely an iterable of sources
+    n = csr.n
+    indptr, indices, weights, verts = csr.indptr, csr.indices, csr.weights, csr.verts
+    dist: List[float] = [INF] * n
+    parent: List[int] = [-2] * n  # -2 = untouched, -1 = source
+    heap: List[Tuple[float, int]] = []
+    for s in sources:
+        i = csr.index_of(s)
+        dist[i] = 0.0
+        parent[i] = -1
+        heap.append((0.0, i))
+    heapq.heapify(heap)
+    push, pop = heapq.heappush, heapq.heappop
+    while heap:
+        d, u = pop(heap)
+        if d > dist[u]:
+            continue  # stale entry
+        a, b = indptr[u], indptr[u + 1]
+        for v, w in zip(indices[a:b], weights[a:b]):
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                parent[v] = u
+                push(heap, (nd, v))
+    out_dist: Dict[Vertex, float] = {}
+    out_parent: Dict[Vertex, Optional[Vertex]] = {}
+    for i in range(n):
+        p = parent[i]
+        if p == -2:
+            continue
+        out_dist[verts[i]] = dist[i]
+        out_parent[verts[i]] = None if p == -1 else verts[p]
+    return out_dist, out_parent
+
 
 def dijkstra(
-    graph: WeightedGraph,
+    graph: GraphLike,
     sources: Iterable[Vertex] | Vertex,
     weight_override: Optional[Dict[Tuple[Vertex, Vertex], float]] = None,
 ) -> Tuple[Dict[Vertex, float], Dict[Vertex, Optional[Vertex]]]:
@@ -27,7 +80,8 @@ def dijkstra(
     Parameters
     ----------
     graph:
-        The weighted graph.
+        The weighted graph — either a :class:`WeightedGraph` or a frozen
+        :class:`CSRGraph` (the latter takes the indexed fast path).
     sources:
         A single vertex or an iterable of source vertices (all at
         distance 0).
@@ -40,6 +94,27 @@ def dijkstra(
         ``dist[v]`` is the distance from the nearest source (vertices
         unreachable from every source are absent); ``parent[v]`` is the
         predecessor on a shortest path (``None`` for sources).
+    """
+    if weight_override is None:
+        # a full SSSP is Ω(m) anyway, so freezing (cached on the graph,
+        # invalidated by mutation) costs at most one extra edge sweep and
+        # every later call on the same graph rides the indexed fast path
+        if isinstance(graph, WeightedGraph):
+            graph = graph.freeze()
+        return _csr_dijkstra(graph, sources)
+    return _dict_dijkstra(graph, sources, weight_override)
+
+
+def _dict_dijkstra(
+    graph: GraphLike,
+    sources: Iterable[Vertex] | Vertex,
+    weight_override: Optional[Dict[Tuple[Vertex, Vertex], float]] = None,
+) -> Tuple[Dict[Vertex, float], Dict[Vertex, Optional[Vertex]]]:
+    """Label-keyed Dijkstra over the adjacency-map API.
+
+    The general path: handles ``weight_override`` and any graph exposing
+    ``neighbor_items``.  Kept separate so benchmarks can compare it
+    against the CSR fast path directly.
     """
     try:
         if graph.has_vertex(sources):  # single-vertex call
@@ -63,8 +138,7 @@ def dijkstra(
         settled.add(u)
         for v, w in graph.neighbor_items(u):
             if weight_override is not None:
-                key = (u, v) if repr(u) <= repr(v) else (v, u)
-                w = weight_override.get(key, w)
+                w = weight_override.get(canonical_edge(u, v), w)
             nd = d + w
             if nd < dist.get(v, INF):
                 dist[v] = nd
@@ -95,13 +169,15 @@ def dijkstra_path(
 
 
 def bounded_dijkstra(
-    graph: WeightedGraph, source: Vertex, radius: float
+    graph: GraphLike, source: Vertex, radius: float
 ) -> Tuple[Dict[Vertex, float], Dict[Vertex, Optional[Vertex]]]:
     """Dijkstra restricted to the ball ``B_G(source, radius)``.
 
     Only vertices at distance ``<= radius`` appear in the output.  This is
     the sequential analogue of the Δ-bounded explorations of §7.
     """
+    if isinstance(graph, CSRGraph):
+        return _csr_bounded_dijkstra(graph, source, radius)
     dist: Dict[Vertex, float] = {source: 0.0}
     parent: Dict[Vertex, Optional[Vertex]] = {source: None}
     heap: List[Tuple[float, int, Vertex]] = [(0.0, 0, source)]
@@ -122,9 +198,49 @@ def bounded_dijkstra(
     return dist, parent
 
 
-def all_pairs_shortest_paths(graph: WeightedGraph) -> Dict[Vertex, Dict[Vertex, float]]:
-    """All-pairs distances by repeated Dijkstra (fine for test-sized graphs)."""
-    return {v: dijkstra(graph, v)[0] for v in graph.vertices()}
+def _csr_bounded_dijkstra(
+    csr: CSRGraph, source: Vertex, radius: float
+) -> Tuple[Dict[Vertex, float], Dict[Vertex, Optional[Vertex]]]:
+    """Indexed variant of :func:`bounded_dijkstra` over a CSR graph."""
+    n = csr.n
+    indptr, indices, weights, verts = csr.indptr, csr.indices, csr.weights, csr.verts
+    src = csr.index_of(source)
+    dist: List[float] = [INF] * n
+    parent: List[int] = [-2] * n
+    dist[src] = 0.0
+    parent[src] = -1
+    heap: List[Tuple[float, int]] = [(0.0, src)]
+    push, pop = heapq.heappush, heapq.heappop
+    while heap:
+        d, u = pop(heap)
+        if d > dist[u]:
+            continue
+        a, b = indptr[u], indptr[u + 1]
+        for v, w in zip(indices[a:b], weights[a:b]):
+            nd = d + w
+            if nd <= radius and nd < dist[v]:
+                dist[v] = nd
+                parent[v] = u
+                push(heap, (nd, v))
+    out_dist: Dict[Vertex, float] = {}
+    out_parent: Dict[Vertex, Optional[Vertex]] = {}
+    for i in range(n):
+        p = parent[i]
+        if p == -2:
+            continue
+        out_dist[verts[i]] = dist[i]
+        out_parent[verts[i]] = None if p == -1 else verts[p]
+    return out_dist, out_parent
+
+
+def all_pairs_shortest_paths(graph: GraphLike) -> Dict[Vertex, Dict[Vertex, float]]:
+    """All-pairs distances by repeated Dijkstra (fine for test-sized graphs).
+
+    A :class:`WeightedGraph` input is frozen once so all ``n`` runs share
+    the CSR fast path.
+    """
+    csr = graph.freeze() if isinstance(graph, WeightedGraph) else graph
+    return {v: dijkstra(csr, v)[0] for v in csr.vertices()}
 
 
 def path_weight(graph: WeightedGraph, path: List[Vertex]) -> float:
@@ -135,7 +251,7 @@ def path_weight(graph: WeightedGraph, path: List[Vertex]) -> float:
     return total
 
 
-def eccentricity(graph: WeightedGraph, v: Vertex) -> float:
+def eccentricity(graph: GraphLike, v: Vertex) -> float:
     """Weighted eccentricity of ``v`` (max distance to any vertex)."""
     dist, _ = dijkstra(graph, v)
     if len(dist) != graph.n:
@@ -143,8 +259,13 @@ def eccentricity(graph: WeightedGraph, v: Vertex) -> float:
     return max(dist.values())
 
 
-def hop_distances(graph: WeightedGraph, source: Vertex) -> Dict[Vertex, int]:
+def hop_distances(graph: GraphLike, source: Vertex) -> Dict[Vertex, int]:
     """Unweighted (hop) distances from ``source`` via BFS."""
+    if isinstance(graph, CSRGraph):
+        verts = graph.verts
+        return {
+            verts[i]: d for i, d in _csr_hop_distances(graph, graph.index_of(source))
+        }
     dist = {source: 0}
     frontier = [source]
     while frontier:
@@ -158,10 +279,34 @@ def hop_distances(graph: WeightedGraph, source: Vertex) -> Dict[Vertex, int]:
     return dist
 
 
-def hop_diameter(graph: WeightedGraph) -> int:
+def _csr_hop_distances(csr: CSRGraph, src: int) -> List[Tuple[int, int]]:
+    """BFS over CSR arrays; returns ``(vertex index, hop distance)`` pairs
+    in visit order (a flat int-array frontier — no per-vertex hashing)."""
+    indptr, indices = csr.indptr, csr.indices
+    dist = [-1] * csr.n
+    dist[src] = 0
+    order = [(src, 0)]
+    frontier = [src]
+    d = 0
+    while frontier:
+        d += 1
+        nxt = []
+        for u in frontier:
+            for v in indices[indptr[u]:indptr[u + 1]]:
+                if dist[v] < 0:
+                    dist[v] = d
+                    order.append((v, d))
+                    nxt.append(v)
+        frontier = nxt
+    return order
+
+
+def hop_diameter(graph: GraphLike) -> int:
     """The paper's ``D``: diameter of the underlying unweighted graph.
 
-    Computed exactly by BFS from every vertex; intended for the moderate
+    Computed exactly by BFS from every vertex (the graph is frozen to its
+    CSR view once and all ``n`` traversals run over the index arrays,
+    reusing one mark array across sources); intended for the moderate
     graph sizes used in tests and benchmarks.
 
     Raises
@@ -171,21 +316,40 @@ def hop_diameter(graph: WeightedGraph) -> int:
     """
     if graph.n == 0:
         return 0
+    csr = graph.freeze() if isinstance(graph, WeightedGraph) else graph
+    n = csr.n
+    indptr, indices = csr.indptr, csr.indices
+    mark = [-1] * n  # mark[v] == src iff v was reached in src's BFS
     best = 0
-    for v in graph.vertices():
-        dist = hop_distances(graph, v)
-        if len(dist) != graph.n:
+    for src in range(n):
+        mark[src] = src
+        frontier = [src]
+        reached = 1
+        depth = 0
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for v in indices[indptr[u]:indptr[u + 1]]:
+                    if mark[v] != src:
+                        mark[v] = src
+                        nxt.append(v)
+            if nxt:
+                depth += 1
+                reached += len(nxt)
+            frontier = nxt
+        if reached != n:
             raise ValueError("hop diameter undefined: graph is disconnected")
-        best = max(best, max(dist.values()))
+        best = max(best, depth)
     return best
 
 
-def weak_diameter(graph: WeightedGraph, cluster: Iterable[Vertex]) -> float:
+def weak_diameter(graph: GraphLike, cluster: Iterable[Vertex]) -> float:
     """Weak diameter of a cluster: max d_G(u, v) over u, v in the cluster (§2)."""
     cluster = list(cluster)
+    csr = graph.freeze() if isinstance(graph, WeightedGraph) else graph
     best = 0.0
     for v in cluster:
-        dist, _ = dijkstra(graph, v)
+        dist, _ = dijkstra(csr, v)
         for u in cluster:
             if u not in dist:
                 return INF
@@ -193,9 +357,11 @@ def weak_diameter(graph: WeightedGraph, cluster: Iterable[Vertex]) -> float:
     return best
 
 
-def strong_diameter(graph: WeightedGraph, cluster: Iterable[Vertex]) -> float:
+def strong_diameter(graph: GraphLike, cluster: Iterable[Vertex]) -> float:
     """Strong diameter: max distance inside the induced subgraph ``G[C]`` (§2)."""
-    sub = graph.subgraph(cluster)
+    if isinstance(graph, CSRGraph):
+        graph = graph.to_weighted()
+    sub = graph.subgraph(cluster).freeze()
     best = 0.0
     for v in sub.vertices():
         dist, _ = dijkstra(sub, v)

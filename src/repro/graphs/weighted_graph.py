@@ -17,9 +17,35 @@ Vertex = Hashable
 Edge = Tuple[Vertex, Vertex]
 
 
+#: Types whose ``<=`` is a genuine total order.  The fast path is
+#: restricted to exactly these: containers can embed partially-ordered
+#: members (a tuple of frozensets compares by subset order without
+#: raising), which would make ``vertex_le(u, v)`` and ``vertex_le(v, u)``
+#: both False and silently break edge canonicalisation.
+_TOTAL_ORDER_TYPES = (int, str, bytes)
+
+
+def vertex_le(u: Vertex, v: Vertex) -> bool:
+    """Total order on vertices: ``u`` precedes (or equals) ``v``.
+
+    Fast path: same-type int/str/bytes (and non-NaN float) vertices
+    compare directly — for the ubiquitous int vertices a single C-level
+    comparison instead of the two ``repr()`` string builds the old
+    implementation paid on every edge visit.  Everything else falls back
+    to a ``(type name, repr)`` key, which is total and deterministic.
+    """
+    tu, tv = type(u), type(v)
+    if tu is tv:
+        if tu in _TOTAL_ORDER_TYPES:
+            return u <= v
+        if tu is float and u == u and v == v:  # NaN breaks totality
+            return u <= v
+    return (tu.__name__, repr(u)) <= (tv.__name__, repr(v))
+
+
 def canonical_edge(u: Vertex, v: Vertex) -> Edge:
     """Return the canonical (sorted) form of the undirected edge ``{u, v}``."""
-    return (u, v) if repr(u) <= repr(v) else (v, u)
+    return (u, v) if vertex_le(u, v) else (v, u)
 
 
 class WeightedGraph:
@@ -39,10 +65,11 @@ class WeightedGraph:
     upper bound.
     """
 
-    __slots__ = ("_adj",)
+    __slots__ = ("_adj", "_csr_cache")
 
     def __init__(self, vertices: Optional[Iterable[Vertex]] = None) -> None:
         self._adj: Dict[Vertex, Dict[Vertex, float]] = {}
+        self._csr_cache = None
         if vertices is not None:
             for v in vertices:
                 self.add_vertex(v)
@@ -52,7 +79,9 @@ class WeightedGraph:
     # ------------------------------------------------------------------
     def add_vertex(self, v: Vertex) -> None:
         """Add an isolated vertex (no-op if already present)."""
-        self._adj.setdefault(v, {})
+        if v not in self._adj:
+            self._adj[v] = {}
+            self._csr_cache = None
 
     def add_edge(self, u: Vertex, v: Vertex, weight: float) -> None:
         """Add (or overwrite) the undirected edge ``{u, v}`` with ``weight``.
@@ -68,6 +97,7 @@ class WeightedGraph:
             raise ValueError(f"edge weights must be positive, got {weight!r}")
         self._adj.setdefault(u, {})[v] = float(weight)
         self._adj.setdefault(v, {})[u] = float(weight)
+        self._csr_cache = None
 
     def remove_edge(self, u: Vertex, v: Vertex) -> None:
         """Remove the undirected edge ``{u, v}``.
@@ -79,12 +109,14 @@ class WeightedGraph:
         """
         del self._adj[u][v]
         del self._adj[v][u]
+        self._csr_cache = None
 
     def remove_vertex(self, v: Vertex) -> None:
         """Remove ``v`` and all incident edges."""
         for u in list(self._adj[v]):
             del self._adj[u][v]
         del self._adj[v]
+        self._csr_cache = None
 
     # ------------------------------------------------------------------
     # Inspection
@@ -104,14 +136,16 @@ class WeightedGraph:
         return iter(self._adj)
 
     def edges(self) -> Iterator[Tuple[Vertex, Vertex, float]]:
-        """Iterate over each undirected edge once, as ``(u, v, weight)``."""
-        seen: Set[Edge] = set()
+        """Iterate over each undirected edge once, as ``(u, v, weight)``.
+
+        Each edge is stored in both endpoint rows; yielding only the
+        canonically-ordered direction visits every edge exactly once
+        without the O(m) seen-set the old implementation materialised.
+        """
         for u, nbrs in self._adj.items():
             for v, w in nbrs.items():
-                e = canonical_edge(u, v)
-                if e not in seen:
-                    seen.add(e)
-                    yield e[0], e[1], w
+                if vertex_le(u, v):
+                    yield u, v, w
 
     def edge_set(self) -> Set[Edge]:
         """Return the set of canonical edges (without weights)."""
@@ -257,6 +291,28 @@ class WeightedGraph:
     def is_tree(self) -> bool:
         """True iff the graph is connected and acyclic."""
         return self.n > 0 and self.m == self.n - 1 and self.is_connected()
+
+    # ------------------------------------------------------------------
+    # CSR fast-path bridge
+    # ------------------------------------------------------------------
+    def to_csr(self):
+        """Flatten into a fresh read-only :class:`~repro.graphs.csr.CSRGraph`."""
+        from repro.graphs.csr import CSRGraph
+
+        return CSRGraph.from_weighted(self)
+
+    def freeze(self):
+        """Cached :class:`~repro.graphs.csr.CSRGraph` view of this graph.
+
+        The CSR view is built on first call and reused until the next
+        mutation (``add_vertex``/``add_edge``/``remove_*`` invalidate it),
+        so algorithms that run many traversals over a stable graph —
+        all-pairs distances, stretch certification, per-net-point
+        explorations — pay the O(n + m) flatten exactly once.
+        """
+        if self._csr_cache is None:
+            self._csr_cache = self.to_csr()
+        return self._csr_cache
 
     # ------------------------------------------------------------------
     # Interop

@@ -63,6 +63,10 @@ def edge_sort_key(u: Vertex, v: Vertex, w: float) -> Tuple[float, str, str]:
 def kruskal_mst(graph: WeightedGraph) -> WeightedGraph:
     """The unique MST of ``graph`` under the deterministic edge order.
 
+    Accepts a :class:`WeightedGraph` (frozen to its cached CSR view so the
+    edge sweep runs over index arrays) or a
+    :class:`~repro.graphs.csr.CSRGraph` directly.
+
     Returns
     -------
     WeightedGraph
@@ -73,6 +77,8 @@ def kruskal_mst(graph: WeightedGraph) -> WeightedGraph:
     ValueError
         If ``graph`` is disconnected (no spanning tree exists).
     """
+    if isinstance(graph, WeightedGraph):
+        graph = graph.freeze()
     uf = UnionFind()
     for v in graph.vertices():
         uf.add(v)

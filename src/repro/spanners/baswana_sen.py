@@ -20,9 +20,10 @@ Round cost in CONGEST: O(k) (the paper, footnote 9).
 from __future__ import annotations
 
 import random
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Dict, Hashable, Optional, Tuple, Union
 
 from repro.congest.ledger import RoundLedger
+from repro.graphs.csr import CSRGraph
 from repro.graphs.weighted_graph import WeightedGraph
 from repro.mst.kruskal import edge_sort_key
 
@@ -34,15 +35,23 @@ _ROUNDS_PER_PHASE = 3
 
 
 def baswana_sen_spanner(
-    graph: WeightedGraph,
+    graph: Union[WeightedGraph, CSRGraph],
     k: int,
     rng: Optional[random.Random] = None,
     ledger: Optional[RoundLedger] = None,
 ) -> WeightedGraph:
     """Build a (2k−1)-spanner of ``graph`` with expected O(k·n^{1+1/k}) edges.
 
+    The "remaining" edge set the algorithm repeatedly scans and prunes is
+    kept as the input's frozen CSR view plus a per-arc alive mask: cluster
+    scans are integer-indexed row sweeps, and retiring an edge flips two
+    bytes (the arc and its mirror) instead of two dict deletions.
+
     Parameters
     ----------
+    graph:
+        The input graph — a :class:`WeightedGraph` (frozen internally) or
+        an already-frozen :class:`CSRGraph`.
     k:
         Stretch parameter (k >= 1); k = 1 returns the graph itself.
     rng:
@@ -55,31 +64,53 @@ def baswana_sen_spanner(
         raise ValueError(f"k must be >= 1, got {k}")
     if ledger is not None:
         ledger.charge("baswana-sen", _ROUNDS_PER_PHASE * k)
+    csr = graph.freeze() if isinstance(graph, WeightedGraph) else graph
     if k == 1:
-        return graph.copy()
+        return csr.to_weighted()
     rng = rng if rng is not None else random.Random()
 
-    n = graph.n
+    n = csr.n
     p = n ** (-1.0 / k) if n > 1 else 1.0
-    remaining = graph.copy()
-    spanner = WeightedGraph(graph.vertices())
-    center: Dict[Vertex, Vertex] = {v: v for v in graph.vertices()}
+    indptr, indices, weights, verts = csr.indptr, csr.indices, csr.weights, csr.verts
+    index_of = csr.index_of
+    mirror = csr.mirror()
+    alive = bytearray(b"\x01" * len(indices))
+    spanner = WeightedGraph(verts)
+    center: Dict[Vertex, Vertex] = {v: v for v in verts}
 
     def lightest_per_cluster(v: Vertex) -> Dict[Vertex, Tuple[float, Vertex]]:
-        """Lightest remaining edge from ``v`` to each adjacent cluster."""
+        """Lightest remaining edge from ``v`` to each adjacent cluster.
+
+        Weight-first comparison; the (deterministic) ``edge_sort_key``
+        repr tie-break is only materialised on exact weight ties.
+        """
         best: Dict[Vertex, Tuple[float, Vertex]] = {}
-        for u, w in remaining.neighbor_items(v):
+        i = index_of(v)
+        a, b = indptr[i], indptr[i + 1]
+        for s, ui in enumerate(indices[a:b], a):
+            if not alive[s]:
+                continue
+            u = verts[ui]
             cu = center.get(u)
             if cu is None:
                 continue
-            if cu not in best or edge_sort_key(v, u, w) < edge_sort_key(v, best[cu][1], best[cu][0]):
+            w = weights[s]
+            cur = best.get(cu)
+            if cur is None or w < cur[0] or (
+                w == cur[0] and edge_sort_key(v, u, w) < edge_sort_key(v, cur[1], cur[0])
+            ):
                 best[cu] = (w, u)
         return best
 
-    def drop_edges_to_cluster(v: Vertex, cluster: Vertex) -> None:
-        for u in list(remaining.neighbors(v)):
-            if center.get(u) == cluster:
-                remaining.remove_edge(v, u)
+    def drop_edges_to_clusters(v: Vertex, clusters: set) -> None:
+        """Retire all of ``v``'s remaining edges into any of ``clusters``
+        (one row scan for the whole batch)."""
+        i = index_of(v)
+        a, b = indptr[i], indptr[i + 1]
+        for s, ui in enumerate(indices[a:b], a):
+            if alive[s] and center.get(verts[ui]) in clusters:
+                alive[s] = 0
+                alive[mirror[s]] = 0
 
     for _phase in range(1, k):
         centers = set(center.values())
@@ -87,7 +118,7 @@ def baswana_sen_spanner(
         new_center: Dict[Vertex, Vertex] = {
             v: c for v, c in center.items() if c in sampled
         }
-        # all vertices decide on the same snapshot of `remaining` (the
+        # all vertices decide on the same snapshot of the alive mask (the
         # distributed algorithm is synchronous); drops apply afterwards
         additions = []
         drops = []
@@ -112,28 +143,33 @@ def baswana_sen_spanner(
                 for c, (w, u) in best.items():
                     if c == c_star:
                         continue
-                    if edge_sort_key(v, u, w) < edge_sort_key(v, u_star, w_star):
+                    if w < w_star or (
+                        w == w_star
+                        and edge_sort_key(v, u, w) < edge_sort_key(v, u_star, w_star)
+                    ):
                         additions.append((v, u, w))
                         drops.append((v, c))
         for v, u, w in additions:
             spanner.add_edge(v, u, w)
+        drops_by_vertex: Dict[Vertex, set] = {}
         for v, c in drops:
-            drop_edges_to_cluster(v, c)
+            drops_by_vertex.setdefault(v, set()).add(c)
+        for v, clusters in drops_by_vertex.items():
+            drop_edges_to_clusters(v, clusters)
         center = new_center
         # intra-cluster edges are never needed again
-        for u, v, _w in list(remaining.edges()):
-            if center.get(u) is not None and center.get(u) == center.get(v):
-                remaining.remove_edge(u, v)
+        for i in range(n):
+            ci = center.get(verts[i])
+            if ci is None:
+                continue
+            for s in range(indptr[i], indptr[i + 1]):
+                if alive[s] and indices[s] > i and center.get(verts[indices[s]]) == ci:
+                    alive[s] = 0
+                    alive[mirror[s]] = 0
 
     # final phase: every vertex buys the lightest edge to each adjacent cluster
-    for v in sorted(graph.vertices(), key=repr):
-        best: Dict[Vertex, Tuple[float, Vertex]] = {}
-        for u, w in remaining.neighbor_items(v):
-            cu = center.get(u)
-            if cu is None:
-                continue
-            if cu not in best or edge_sort_key(v, u, w) < edge_sort_key(v, best[cu][1], best[cu][0]):
-                best[cu] = (w, u)
+    for v in sorted(verts, key=repr):
+        best = lightest_per_cluster(v)
         for _c, (w, u) in best.items():
             spanner.add_edge(v, u, w)
     return spanner

@@ -104,42 +104,71 @@ def elkin_neiman_spanner(
     if shifts is None:
         shifts = sample_shifts(nodes, k, rng, beta)
 
-    # m(x): best shifted value seen; best[x][y] = (value, delivering neighbour)
-    m: Dict[Node, float] = dict(shifts)
-    source: Dict[Node, Node] = {x: x for x in nodes}
-    best: Dict[Node, Dict[Node, Tuple[float, Node]]] = {x: {} for x in nodes}
+    # --- indexed CSR fast path: relabel nodes to 0..n-1 once and run the
+    # k propagation rounds over flat arrays.  Every node sends its current
+    # (source, value) to every neighbour each round, so a node's inbox is
+    # exactly its neighbours' previous outputs — no inbox materialisation.
+    # The old dict implementation sorted each inbox by ``repr(sender)``
+    # to break value ties; sorting each neighbour row once by that same
+    # key preserves the tie-break (first strict maximum wins) while
+    # moving the per-round scans to integer-indexed lists.
+    n_nodes = len(nodes)
+    node_index = {x: i for i, x in enumerate(nodes)}
+    repr_rank = {i: r for r, i in enumerate(sorted(range(n_nodes), key=lambda i: repr(nodes[i])))}
+    indptr: List[int] = [0] * (n_nodes + 1)
+    total = 0
+    for i, x in enumerate(nodes):
+        total += len(adjacency[x])
+        indptr[i + 1] = total
+    indices: List[int] = [0] * total
+    pos = 0
+    for x in nodes:
+        row = sorted((node_index[nbr] for nbr in adjacency[x]), key=repr_rank.__getitem__)
+        for j in row:
+            indices[pos] = j
+            pos += 1
+
+    # m[x]: best shifted value seen; best[x][y] = (value, delivering neighbour)
+    m: List[float] = [shifts[x] for x in nodes]
+    source: List[int] = list(range(n_nodes))
+    best: List[Dict[int, Tuple[float, int]]] = [{} for _ in range(n_nodes)]
     # round-0 messages: (s(x), m(x) - 1) to every neighbour
-    outgoing: Dict[Node, Tuple[Node, float]] = {x: (x, shifts[x] - 1) for x in nodes}
+    out_src: List[int] = list(range(n_nodes))
+    out_val: List[float] = [m[i] - 1 for i in range(n_nodes)]
     messages_per_round: List[int] = []
 
     for _round in range(k):
-        inboxes: Dict[Node, List[Tuple[Node, Node, float]]] = {x: [] for x in nodes}
-        count = 0
-        for x, (src, val) in outgoing.items():
-            for nbr in adjacency[x]:
-                inboxes[nbr].append((x, src, val))
-                count += 1
-        messages_per_round.append(count)
-        outgoing = {}
-        for x in nodes:
-            # deterministic tie-break on equal values: lowest sender id
-            inboxes[x].sort(key=lambda t: repr(t[0]))
-            for sender, src, val in inboxes[x]:
-                cur = best[x].get(src)
+        messages_per_round.append(total)
+        new_src = list(out_src)
+        new_val = list(out_val)
+        for x in range(n_nodes):
+            bx = best[x]
+            mx = m[x]
+            sx = source[x]
+            for sender in indices[indptr[x]:indptr[x + 1]]:
+                src = out_src[sender]
+                val = out_val[sender]
+                cur = bx.get(src)
                 if cur is None or val > cur[0]:
-                    best[x][src] = (val, sender)
-                if val > m[x]:
-                    m[x] = val
-                    source[x] = src
-            outgoing[x] = (source[x], m[x] - 1)
+                    bx[src] = (val, sender)
+                if val > mx:
+                    mx = val
+                    sx = src
+            m[x] = mx
+            source[x] = sx
+            new_src[x] = sx
+            new_val[x] = mx - 1
+        out_src = new_src
+        out_val = new_val
 
     edges: Set[FrozenSet[Node]] = set()
-    for x in nodes:
+    for x in range(n_nodes):
+        mx_cut = m[x] - 1
         for src, (val, sender) in best[x].items():
             if src == x:
                 continue
-            if val >= m[x] - 1:
-                edges.add(frozenset((x, sender)))
+            if val >= mx_cut:
+                edges.add(frozenset((nodes[x], nodes[sender])))
     return ElkinNeimanRun(
         edges=edges, shifts=shifts, rounds=k, messages_per_round=messages_per_round
     )

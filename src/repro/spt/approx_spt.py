@@ -23,6 +23,7 @@ import math
 from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 from repro.congest.ledger import RoundLedger
+from repro.graphs.csr import CSRGraph
 from repro.graphs.shortest_paths import dijkstra
 from repro.graphs.weighted_graph import Vertex, WeightedGraph
 from repro.spt.tree import SPTree
@@ -134,6 +135,9 @@ def bounded_approx_spt(
     """
     import heapq
 
+    if isinstance(graph, CSRGraph):
+        return _csr_bounded_approx_spt(graph, sources, radius, eps)
+
     if eps > 0:
         weight_of = lambda u, v: _round_up_weight(graph.weight(u, v), eps)
     else:
@@ -169,3 +173,58 @@ def bounded_approx_spt(
                 heapq.heappush(heap, (nd, counter, v))
                 counter += 1
     return true_dist, parent, origin
+
+
+def _csr_bounded_approx_spt(
+    csr: CSRGraph,
+    sources: Iterable[Vertex],
+    radius: float,
+    eps: float,
+) -> Tuple[Dict[Vertex, float], Dict[Vertex, Optional[Vertex]], Dict[Vertex, Vertex]]:
+    """Indexed variant of :func:`bounded_approx_spt` over a CSR graph."""
+    import heapq
+
+    n = csr.n
+    indptr, indices, weights, verts = csr.indptr, csr.indices, csr.weights, csr.verts
+    INF = float("inf")
+    dist: List[float] = [INF] * n
+    true_dist: List[float] = [INF] * n
+    parent: List[int] = [-2] * n
+    origin: List[int] = [-1] * n
+    heap: List[Tuple[float, int]] = []
+    for s in sources:
+        i = csr.index_of(s)
+        dist[i] = 0.0
+        true_dist[i] = 0.0
+        parent[i] = -1
+        origin[i] = i
+        heap.append((0.0, i))
+    heapq.heapify(heap)
+    push, pop = heapq.heappush, heapq.heappop
+    while heap:
+        d, u = pop(heap)
+        if d > dist[u]:
+            continue  # stale entry
+        tu = true_dist[u]
+        ou = origin[u]
+        a, b = indptr[u], indptr[u + 1]
+        for v, w in zip(indices[a:b], weights[a:b]):
+            nd = d + (_round_up_weight(w, eps) if eps > 0 else w)
+            nt = tu + w
+            if nt <= radius and nd < dist[v]:
+                dist[v] = nd
+                true_dist[v] = nt
+                parent[v] = u
+                origin[v] = ou
+                push(heap, (nd, v))
+    out_dist: Dict[Vertex, float] = {}
+    out_parent: Dict[Vertex, Optional[Vertex]] = {}
+    out_origin: Dict[Vertex, Vertex] = {}
+    for i in range(n):
+        p = parent[i]
+        if p == -2:
+            continue
+        out_dist[verts[i]] = true_dist[i]
+        out_parent[verts[i]] = None if p == -1 else verts[p]
+        out_origin[verts[i]] = verts[origin[i]]
+    return out_dist, out_parent, out_origin

@@ -111,6 +111,34 @@ class TestInspection:
         assert canonical_edge(2, 1) == (1, 2)
         assert canonical_edge(1, 2) == (1, 2)
 
+    def test_canonical_edge_int_order_is_numeric(self):
+        # direct comparison, not the old repr()-lexicographic order
+        # (which would have put 10 before 2)
+        assert canonical_edge(10, 2) == (2, 10)
+        assert canonical_edge(2, 10) == (2, 10)
+
+    def test_canonical_edge_mixed_types_pinned(self):
+        # mixed int/str vertices: ordered by (type name, repr) —
+        # "int" < "str", so the int always comes first, from both sides
+        assert canonical_edge(1, "a") == (1, "a")
+        assert canonical_edge("a", 1) == (1, "a")
+        assert canonical_edge(10, "2") == (10, "2")
+        assert canonical_edge("2", 10) == (10, "2")
+        # same-type strings compare directly
+        assert canonical_edge("b", "a") == ("a", "b")
+
+    def test_edges_once_with_mixed_vertex_types(self):
+        g = WeightedGraph()
+        g.add_edge(1, "a", 1.0)
+        g.add_edge("a", 2, 2.0)
+        g.add_edge(2, 1, 3.0)
+        edges = list(g.edges())
+        assert len(edges) == 3 == g.m
+        assert {(u, v) for u, v, _ in edges} == {(1, "a"), (2, "a"), (1, 2)}
+        # every yielded edge is in canonical order
+        for u, v, _ in edges:
+            assert canonical_edge(u, v) == (u, v)
+
 
 class TestDerivedGraphs:
     def test_copy_is_deep(self, triangle):
