@@ -7,12 +7,11 @@ import random
 
 import pytest
 
-from conftest import print_table, run_once
+from conftest import print_table, run_once, workload
 
 from repro.analysis import lightness, max_edge_stretch, root_stretch, sparsity
 from repro.baselines import kry_slt
 from repro.core import light_spanner, shallow_light_tree
-from repro.graphs import erdos_renyi_graph, random_geometric_graph
 from repro.spanners import baswana_sen_spanner, greedy_spanner
 
 N = 60
@@ -20,7 +19,7 @@ N = 60
 
 @pytest.mark.parametrize("k", [2, 3])
 def test_spanner_three_way(benchmark, k):
-    g = erdos_renyi_graph(N, 0.3, seed=41)
+    g = workload("baswana-sen-er")
     t = 2 * k - 1
 
     def run():
@@ -66,7 +65,7 @@ def test_spanner_three_way(benchmark, k):
 
 
 def test_slt_two_way(benchmark):
-    g = random_geometric_graph(N, seed=42)
+    g = workload("spanner-geometric", n=N, seed=42)
     root = 0
 
     def run():

@@ -13,7 +13,7 @@ import random
 
 import pytest
 
-from conftest import print_table, run_once
+from conftest import print_table, run_once, workload
 
 from repro.core import (
     build_net,
@@ -22,12 +22,14 @@ from repro.core import (
     light_spanner,
     shallow_light_tree,
 )
-from repro.graphs import das_sarma_hard_graph, erdos_renyi_graph, hop_diameter
+from repro.graphs import hop_diameter
+from repro.mst import kruskal_mst
 
 
 @pytest.mark.parametrize("planted", [1.0, 100.0, 10_000.0])
 def test_theorem7_reduction_on_hard_family(benchmark, planted):
-    g, mst_w = das_sarma_hard_graph(120, planted_weight=planted, seed=1)
+    g = workload("estimate-lower-bound", planted_weight=planted)
+    mst_w = kruskal_mst(g).total_weight()
     est = run_once(benchmark, estimate_mst_weight_via_nets, g, net_method="greedy")
     upper = 16 * est.alpha * math.log2(g.n)
     print_table(
@@ -48,13 +50,18 @@ def test_theorem7_reduction_on_hard_family(benchmark, planted):
 def test_estimator_distinguishes_planted_weights(benchmark):
     """The crux of the hardness transfer: Ψ separates light/heavy plants."""
 
+    instances = [
+        (planted, workload("estimate-lower-bound", n=100, planted_weight=planted, seed=2))
+        for planted in (1.0, 100.0, 10_000.0)
+    ]
+    weights = {planted: kruskal_mst(g).total_weight() for planted, g in instances}
+
     def run():
-        out = []
-        for planted in (1.0, 100.0, 10_000.0):
-            g, w = das_sarma_hard_graph(100, planted_weight=planted, seed=2)
-            est = estimate_mst_weight_via_nets(g, net_method="greedy")
-            out.append((planted, w, est.psi))
-        return out
+        return [
+            (planted, weights[planted],
+             estimate_mst_weight_via_nets(g, net_method="greedy").psi)
+            for planted, g in instances
+        ]
 
     rows = run_once(benchmark, run)
     print_table(
@@ -68,7 +75,7 @@ def test_estimator_distinguishes_planted_weights(benchmark):
 def test_distributed_net_oracle_reduction(benchmark):
     """Same reduction with the actual Theorem-3 nets (rounds now real
     charges — this is the object the lower bound constrains)."""
-    g = erdos_renyi_graph(40, 0.2, seed=3)
+    g = workload("net-er", n=40, seed=3)
     est = run_once(
         benchmark, estimate_mst_weight_via_nets, g,
         net_method="distributed", rng=random.Random(3),
@@ -88,7 +95,7 @@ def test_distributed_net_oracle_reduction(benchmark):
 
 def test_all_constructions_respect_round_floor(benchmark):
     """Theorem 6: light spanners and SLTs cannot beat Ω̃(√n + D)."""
-    g = erdos_renyi_graph(64, 0.15, seed=4)
+    g = workload("net-er", n=64, p=0.15, seed=4)
     d = hop_diameter(g)
     floor = congest_round_floor(g.n, d)
 

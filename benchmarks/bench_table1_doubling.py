@@ -13,22 +13,18 @@ import random
 
 import pytest
 
-from conftest import print_table, run_once
+from conftest import print_table, run_once, workload
 
 from repro.analysis import lightness, max_pairwise_stretch
 from repro.core import doubling_spanner
-from repro.graphs import (
-    doubling_dimension_estimate,
-    grid_graph,
-    random_geometric_graph,
-)
+from repro.graphs import doubling_dimension_estimate
 
 N = 40
 
 
 @pytest.mark.parametrize("eps", [0.04, 0.08, 0.12])
 def test_doubling_eps_sweep(benchmark, eps):
-    g = random_geometric_graph(N, seed=21)
+    g = workload("doubling-geometric")
     res = run_once(benchmark, doubling_spanner, g, eps, random.Random(1), net_method="greedy")
     ms = max_pairwise_stretch(g, res.spanner)
     ml = lightness(g, res.spanner)
@@ -49,7 +45,7 @@ def test_doubling_eps_sweep(benchmark, eps):
 
 def test_doubling_lightness_grows_as_eps_shrinks(benchmark):
     """The ε^{-O(ddim)} shape: smaller ε must cost more weight."""
-    g = random_geometric_graph(N, seed=22)
+    g = workload("doubling-geometric", seed=22)
 
     def sweep():
         return [
@@ -71,7 +67,7 @@ def test_doubling_lightness_grows_as_eps_shrinks(benchmark):
 def test_doubling_packing_overlap(benchmark):
     """Lemma 6 in action: the max number of 2Δ-explorations any vertex
     joins must stay far below the net size (it is ε^{-O(ddim)})."""
-    g = grid_graph(6, 6, jitter=0.2, seed=23)
+    g = workload("doubling-grid", rows=6, cols=6, jitter=0.2, seed=23)
     res = run_once(benchmark, doubling_spanner, g, 0.1, random.Random(3), net_method="greedy")
     rows = [
         [s.index, f"{s.scale:.1f}", s.net_size, s.paths_added, s.max_overlap]
@@ -93,7 +89,7 @@ def test_doubling_vs_general_spanner(benchmark):
     achieves ~1+ε stretch, far below any (2k−1)-spanner's."""
     from repro.core import light_spanner
 
-    g = random_geometric_graph(N, seed=24)
+    g = workload("doubling-geometric", seed=24)
     ddim = doubling_dimension_estimate(g)
 
     def both():

@@ -12,11 +12,11 @@ import random
 
 import pytest
 
-from conftest import print_table, run_once
+from conftest import print_table, run_once, workload
 
 from repro.analysis import verify_net
 from repro.core import build_net, greedy_net
-from repro.graphs import erdos_renyi_graph, hop_diameter, random_geometric_graph
+from repro.graphs import hop_diameter, random_geometric_graph
 
 N = 70
 
@@ -24,7 +24,7 @@ N = 70
 @pytest.mark.parametrize("delta", [0.25, 0.5])
 @pytest.mark.parametrize("scale", [10.0, 40.0])
 def test_net_parameter_sweep(benchmark, delta, scale):
-    g = erdos_renyi_graph(N, 0.2, seed=int(scale))
+    g = workload("net-er", seed=int(scale))
     res = run_once(benchmark, build_net, g, scale, delta, random.Random(1))
     verify_net(g, res.points, res.alpha, res.beta)
     print_table(
@@ -49,7 +49,7 @@ def test_net_active_set_decay(benchmark):
     """§6's engine: the active set decays geometrically (O(log n)
     iterations w.h.p.; at these sizes typically 1–3 — each iteration
     kills far more than the half the analysis guarantees)."""
-    g = random_geometric_graph(100, seed=3)
+    g = workload("net-geometric")
     res = run_once(benchmark, build_net, g, 40.0, 0.5, random.Random(3))
     rows = [
         [i + 1, a, f"{res.active_history[i + 1] / a:.2f}" if i + 1 < len(res.active_history) else "-"]
@@ -68,7 +68,7 @@ def test_net_active_set_decay(benchmark):
 def test_net_rounds_scaling(benchmark, n):
     """Rounds floor is Ω̃(√n + D) (Theorem 7); measured charge scales
     with √n times the sub-polynomial LE-list factor."""
-    g = erdos_renyi_graph(n, min(1.0, 8.0 / n), seed=n)
+    g = workload("net-er", n=n, p=min(1.0, 8.0 / n), seed=n)
     res = run_once(benchmark, build_net, g, 30.0, 0.5, random.Random(n))
     print_table(
         f"Net rounds scaling, n={n}",

@@ -12,11 +12,11 @@ import random
 
 import pytest
 
-from conftest import print_table, run_once
+from conftest import print_table, run_once, workload
 
 from repro.analysis import lightness, root_stretch
 from repro.core import shallow_light_tree
-from repro.graphs import erdos_renyi_graph, hop_diameter, star_graph
+from repro.graphs import hop_diameter
 
 N = 80
 ROOT = 0
@@ -26,7 +26,7 @@ ROOT = 0
 def test_slt_tradeoff_curve(benchmark, alpha):
     """The (α, 1+O(1)/(α−1)) frontier: lightness ≤ α at all points, stretch
     decreasing in α — the [KRY95]-optimal shape."""
-    g = erdos_renyi_graph(N, 0.2, seed=7)
+    g = workload("slt-er")
     res = run_once(benchmark, shallow_light_tree, g, ROOT, alpha)
     ms = root_stretch(g, res.tree, ROOT)
     ml = lightness(g, res.tree)
@@ -47,7 +47,7 @@ def test_slt_tradeoff_curve(benchmark, alpha):
 def test_slt_stretch_monotone_in_alpha(benchmark):
     """Crossover shape: as α grows the tree leans on the MST (stretch up,
     weight down); the measured curve must be the paper's frontier shape."""
-    g = star_graph(40, spoke_weight=10.0, rim_weight=1.0)
+    g = workload("slt-star-rim")
 
     def curve():
         out = []
@@ -71,7 +71,7 @@ def test_slt_stretch_monotone_in_alpha(benchmark):
 @pytest.mark.parametrize("n", [36, 72, 144])
 def test_slt_rounds_scaling(benchmark, n):
     """Rounds ~ Õ(√n + D): quadrupling n should roughly double rounds."""
-    g = erdos_renyi_graph(n, min(1.0, 8.0 / n), seed=n)
+    g = workload("slt-er", n=n, p=min(1.0, 8.0 / n), seed=n)
     res = run_once(benchmark, shallow_light_tree, g, ROOT, 8.0)
     print_table(
         f"SLT rounds scaling, n={n}",

@@ -16,11 +16,11 @@ import random
 
 import pytest
 
-from conftest import print_table, run_once
+from conftest import print_table, run_once, workload
 
 from repro.analysis import lightness, max_edge_stretch, sparsity
 from repro.core import light_spanner
-from repro.graphs import erdos_renyi_graph, hop_diameter, random_geometric_graph
+from repro.graphs import hop_diameter
 from repro.mst.kruskal import kruskal_mst
 
 EPS = 0.25
@@ -33,7 +33,7 @@ def test_spanner_k_sweep(benchmark, k):
 
     Dense workload (p = 0.8) so the O(k·n^{1+1/k}) size bound actually
     bites and the k-trade-off is visible."""
-    g = erdos_renyi_graph(N, 0.8, seed=100)
+    g = workload("spanner-er")
     res = run_once(benchmark, light_spanner, g, k, EPS, random.Random(k))
 
     measured_stretch = max_edge_stretch(g, res.spanner)
@@ -66,7 +66,7 @@ def test_spanner_k_sweep(benchmark, k):
 @pytest.mark.parametrize("n", [36, 72, 144])
 def test_spanner_rounds_scaling(benchmark, n):
     """Rounds must grow like n^{1/2+1/(4k+2)} (k=2 → n^{0.6}), not n."""
-    g = erdos_renyi_graph(n, min(1.0, 8.0 / n), seed=n)
+    g = workload("spanner-er", n=n, p=min(1.0, 8.0 / n), seed=n)
     res = run_once(benchmark, light_spanner, g, 2, EPS, random.Random(n))
     predicted = n ** (0.5 + 1.0 / 10.0)
     print_table(
@@ -79,7 +79,7 @@ def test_spanner_rounds_scaling(benchmark, n):
 
 def test_spanner_round_breakdown(benchmark):
     """Where the rounds go: MST/tour vs per-bucket simulation (§5 phases)."""
-    g = erdos_renyi_graph(N, 0.25, seed=9)
+    g = workload("spanner-er", p=0.25, seed=9)
     res = run_once(benchmark, light_spanner, g, 2, EPS, random.Random(9))
     phases = res.ledger.by_phase()
     groups = {"infrastructure": 0, "E' (Baswana-Sen)": 0, "buckets": 0}
@@ -100,7 +100,7 @@ def test_spanner_round_breakdown(benchmark):
 
 def test_spanner_geometric_workload(benchmark):
     """Same construction on a doubling workload (cross-family sanity)."""
-    g = random_geometric_graph(60, seed=5)
+    g = workload("spanner-geometric")
     res = run_once(benchmark, light_spanner, g, 2, EPS, random.Random(5))
     print_table(
         "Spanner on geometric workload (k=2, n=60)",

@@ -7,11 +7,27 @@ JSON output carries them too.  Construction timing uses
 ``benchmark.pedantic(rounds=1)`` — the object of study is the *round
 complexity and quality* of the constructions, not Python wall-time, so
 one timed round keeps the harness fast while still recording wall-time.
+
+Workload graphs come from the :mod:`repro.harness.profiles` registry via
+:func:`workload`, so the scenario definitions (family, sizes, seeds)
+live in exactly one place, shared with ``python -m repro bench``.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List
+
+from repro.harness import get_profile
+
+
+def workload(profile_name: str, tier: str = "table1", **overrides):
+    """Build the named harness profile's workload graph at ``tier``.
+
+    ``overrides`` patch individual generator kwargs (including ``seed``)
+    so sweep-style benchmarks can vary one axis while the base scenario
+    stays defined in the profile registry.
+    """
+    return get_profile(profile_name).build_graph(tier, **overrides)
 
 
 def print_table(title: str, columns: List[str], rows: Iterable[Iterable]) -> None:

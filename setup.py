@@ -1,3 +1,5 @@
+"""Legacy shim — all metadata lives in pyproject.toml."""
+
 from setuptools import setup
 
 setup()

@@ -8,6 +8,7 @@ net         build a §6 (α, β)-net
 doubling    build the §7 doubling-graph spanner
 estimate    run the §8 MST-weight estimation
 generate    write a workload graph to a file
+bench       run the profile-driven benchmark harness (repro.harness)
 
 Graphs are read/written with :mod:`repro.io` (edge-list or ``.json`` by
 extension).  Every command prints a short quality report (measured
@@ -151,6 +152,56 @@ def cmd_estimate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    # imported lazily so the file-based commands stay snappy
+    from repro import harness
+
+    if args.list:
+        print(f"{'profile':<26} {'family':<16} {'algorithm':<18} section")
+        for p in harness.all_profiles():
+            print(f"{p.name:<26} {p.family:<16} {p.algorithm:<18} {p.section}")
+            print(f"{'':<26} {p.description}")
+        return 0
+
+    if args.profiles:
+        try:
+            selected = [harness.get_profile(name) for name in args.profiles]
+        except KeyError as exc:
+            raise SystemExit(f"error: {exc.args[0]}")
+    else:
+        selected = harness.all_profiles()
+
+    print(f"running {len(selected)} profile(s) at tier {args.suite!r}")
+    records = harness.run_suite(
+        selected, tier=args.suite, measure_memory=not args.no_memory, progress=print
+    )
+    violated = [r.profile for r in records if not r.ok]
+    rc = 0
+    if violated:
+        print(f"QUALITY VIOLATED: {', '.join(violated)}")
+        rc = 1
+
+    report = harness.make_report(records, suite=args.suite, tag=args.tag)
+    if args.out:
+        harness.write_report(report, args.out)
+        print(f"wrote {len(records)} record(s) to {args.out}")
+
+    if args.compare:
+        try:
+            baseline = harness.load_report(args.compare)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"error: cannot load baseline: {exc}")
+        try:
+            comparison = harness.compare_reports(baseline, report, tolerance=args.tolerance)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
+        print(f"\ndeltas vs {args.compare} (tolerance {args.tolerance:.0%}):")
+        print(comparison.render())
+        if not comparison.ok:
+            rc = 1
+    return rc
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -202,6 +253,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--net-method", choices=["greedy", "distributed"], default="greedy")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_estimate)
+
+    p = sub.add_parser("bench", help="profile-driven benchmark harness")
+    p.add_argument("--list", action="store_true", help="list registered profiles")
+    p.add_argument(
+        "--profile", action="append", dest="profiles", metavar="NAME",
+        help="run only this profile (repeatable; default: all)",
+    )
+    p.add_argument(
+        "--suite", choices=["smoke", "table1", "stress"], default="smoke",
+        help="size tier to run (default: smoke)",
+    )
+    p.add_argument("--out", help="write the JSON report here (e.g. BENCH_smoke.json)")
+    p.add_argument("--compare", metavar="BASELINE",
+                   help="diff this run against a prior report; gate on regressions")
+    p.add_argument("--tolerance", type=float, default=0.5,
+                   help="relative time/memory tolerance for the gate (default 0.5)")
+    p.add_argument("--tag", default=None, help="free-form tag stamped into the report")
+    p.add_argument("--no-memory", action="store_true",
+                   help="skip the tracemalloc re-run (peak_memory_bytes = 0)")
+    p.set_defaults(fn=cmd_bench)
 
     return parser
 

@@ -30,6 +30,7 @@ from repro.graphs.generators import (
     caterpillar_graph,
     ring_of_cliques,
     hypercube_graph,
+    power_law_graph,
     random_regular_graph,
     barbell_graph,
 )
@@ -63,6 +64,7 @@ __all__ = [
     "caterpillar_graph",
     "ring_of_cliques",
     "hypercube_graph",
+    "power_law_graph",
     "random_regular_graph",
     "barbell_graph",
     "das_sarma_hard_graph",

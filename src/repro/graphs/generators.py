@@ -218,6 +218,43 @@ def random_tree(
     return g
 
 
+def power_law_graph(
+    n: int,
+    attach: int = 2,
+    min_weight: float = 1.0,
+    max_weight: float = 10.0,
+    seed: Optional[int] = None,
+) -> WeightedGraph:
+    """Preferential-attachment (Barabási–Albert) graph with random weights.
+
+    Starts from a clique on ``attach + 1`` vertices; every later vertex
+    attaches to ``attach`` distinct existing vertices sampled
+    proportionally to degree.  The degree sequence is power-law-ish —
+    hub-and-spoke workloads where a few vertices carry most of the edges,
+    the opposite regime from ER/grid.  Connected by construction.
+    """
+    if attach < 1:
+        raise ValueError("attach must be >= 1")
+    if n < attach + 1:
+        raise ValueError("n must be at least attach + 1")
+    rng = _rng(seed)
+    g = WeightedGraph(range(n))
+    # endpoint multiset: sampling uniformly from it = degree-proportional
+    endpoints: List[int] = []
+    for u in range(attach + 1):
+        for v in range(u + 1, attach + 1):
+            g.add_edge(u, v, rng.uniform(min_weight, max_weight))
+            endpoints.extend((u, v))
+    for v in range(attach + 1, n):
+        targets: set = set()
+        while len(targets) < attach:
+            targets.add(endpoints[rng.randrange(len(endpoints))])
+        for u in targets:
+            g.add_edge(u, v, rng.uniform(min_weight, max_weight))
+            endpoints.extend((u, v))
+    return g
+
+
 def caterpillar_graph(
     spine: int, legs_per_vertex: int = 2, spine_weight: float = 10.0, leg_weight: float = 1.0
 ) -> WeightedGraph:

@@ -1,0 +1,61 @@
+"""Profile-driven workload & benchmark orchestration.
+
+The harness layer turns the repository's constructions into a
+reproducible perf record:
+
+* :mod:`repro.harness.profiles` — the registry of named, seeded workload
+  profiles (graph family × size tier × algorithm × parameters);
+* :mod:`repro.harness.runner` — executes profiles, timing construction
+  and certification separately and sampling peak memory;
+* :mod:`repro.harness.results` — schema-versioned JSON reports plus the
+  regression/improvement comparison gate.
+
+Entry point: ``python -m repro bench`` (see :mod:`repro.cli`).
+"""
+
+from repro.harness.profiles import (
+    FAMILIES,
+    TIERS,
+    Profile,
+    all_profiles,
+    get_profile,
+    profile_names,
+    register,
+)
+from repro.harness.runner import ALGORITHMS, ProfileRecord, run_profile, run_suite
+from repro.harness.results import (
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    Comparison,
+    Delta,
+    compare_reports,
+    environment_metadata,
+    load_report,
+    make_report,
+    report_records,
+    write_report,
+)
+
+__all__ = [
+    "FAMILIES",
+    "TIERS",
+    "Profile",
+    "all_profiles",
+    "get_profile",
+    "profile_names",
+    "register",
+    "ALGORITHMS",
+    "ProfileRecord",
+    "run_profile",
+    "run_suite",
+    "SCHEMA_NAME",
+    "SCHEMA_VERSION",
+    "Comparison",
+    "Delta",
+    "compare_reports",
+    "environment_metadata",
+    "load_report",
+    "make_report",
+    "report_records",
+    "write_report",
+]

@@ -1,0 +1,243 @@
+"""Machine-readable benchmark reports and regression gating.
+
+A report is a schema-versioned JSON document (``BENCH_<tag>.json``)
+holding one :class:`~repro.harness.runner.ProfileRecord` per executed
+profile plus environment metadata, so perf numbers live in artifacts
+instead of commit messages.  :func:`compare_reports` diffs two reports
+profile-by-profile and classifies each tracked quantity as improvement /
+regression / within-tolerance; the comparison's ``ok`` flag is the gate
+CI and ``python -m repro bench --compare`` use.
+
+Gating rules (deliberately asymmetric per quantity):
+
+* wall-clock construction time — relative tolerance (default ±50%),
+  with an absolute floor below which jitter is ignored;
+* peak memory — relative tolerance with a 1 MiB floor;
+* charged rounds — deterministic given the profile seed, so any change
+  beyond 1% is flagged;
+* quality — a profile whose certification flips from ok to violated is
+  always a regression, regardless of tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.harness.runner import ProfileRecord
+
+PathLike = Union[str, "Path"]  # noqa: F821 - keep the io.py convention
+
+SCHEMA_NAME = "repro.harness.bench"
+SCHEMA_VERSION = 1
+
+#: seconds below which timing deltas are considered pure jitter
+TIME_FLOOR_SECONDS = 0.05
+#: bytes below which memory deltas are considered pure jitter
+MEMORY_FLOOR_BYTES = 1 << 20
+#: rounds are seeded-deterministic; allow only numerical slack
+ROUNDS_TOLERANCE = 0.01
+
+
+def environment_metadata() -> Dict[str, str]:
+    """Where the numbers were produced (stamped into every report)."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "argv": " ".join(sys.argv),
+    }
+
+
+def make_report(
+    records: List[ProfileRecord],
+    suite: str,
+    tag: Optional[str] = None,
+) -> Dict[str, object]:
+    """Assemble the schema-versioned report document."""
+    return {
+        "schema": SCHEMA_NAME,
+        "schema_version": SCHEMA_VERSION,
+        "tag": tag,
+        "suite": suite,
+        "created_unix": time.time(),
+        "environment": environment_metadata(),
+        "records": [r.to_dict() for r in records],
+    }
+
+
+def write_report(report: Dict[str, object], path: PathLike) -> None:
+    """Write a report produced by :func:`make_report` as indented JSON."""
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def load_report(path: PathLike) -> Dict[str, object]:
+    """Load and schema-check a report.
+
+    Raises
+    ------
+    ValueError
+        If the document is not a harness report or its schema version is
+        newer than this code understands.
+    """
+    with open(path) as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or data.get("schema") != SCHEMA_NAME:
+        raise ValueError(f"{path}: not a {SCHEMA_NAME} report")
+    version = data.get("schema_version")
+    if not isinstance(version, int) or version < 1 or version > SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: unsupported schema version {version!r} "
+            f"(this code reads <= {SCHEMA_VERSION})"
+        )
+    return data
+
+
+def report_records(report: Dict[str, object]) -> List[ProfileRecord]:
+    """The report's records as :class:`ProfileRecord` objects."""
+    return [ProfileRecord.from_dict(r) for r in report["records"]]
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One tracked quantity of one profile, baseline vs current."""
+
+    profile: str
+    quantity: str  # "construction_seconds" | "peak_memory_bytes" | "rounds" | "quality"
+    baseline: float
+    current: float
+    status: str  # "improvement" | "regression" | "ok"
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline (inf when the baseline is zero)."""
+        if self.baseline == 0:
+            return float("inf") if self.current else 1.0
+        return self.current / self.baseline
+
+    def render(self) -> str:
+        """One aligned text line for the CLI delta table."""
+        marker = {"improvement": "+", "regression": "!", "ok": " "}[self.status]
+        return (
+            f" {marker} {self.profile:<24} {self.quantity:<22} "
+            f"{self.baseline:>12.4g} -> {self.current:>12.4g} "
+            f"(x{self.ratio:.2f}, {self.status})"
+        )
+
+
+@dataclass
+class Comparison:
+    """Outcome of :func:`compare_reports`."""
+
+    deltas: List[Delta] = field(default_factory=list)
+    missing_profiles: List[str] = field(default_factory=list)  # in baseline only
+    new_profiles: List[str] = field(default_factory=list)  # in current only
+    tolerance: float = 0.5
+
+    @property
+    def regressions(self) -> List[Delta]:
+        return [d for d in self.deltas if d.status == "regression"]
+
+    @property
+    def improvements(self) -> List[Delta]:
+        return [d for d in self.deltas if d.status == "improvement"]
+
+    @property
+    def ok(self) -> bool:
+        """The gate: True iff some profile matched and none regressed."""
+        if not self.deltas and (self.missing_profiles or self.new_profiles):
+            return False  # nothing compared at all — never a silent PASS
+        return not self.regressions
+
+    def render(self) -> str:
+        """Multi-line delta table plus the gate verdict."""
+        lines = [d.render() for d in self.deltas]
+        if self.missing_profiles:
+            lines.append("   profiles only in baseline: " + ", ".join(self.missing_profiles))
+        if self.new_profiles:
+            lines.append("   profiles only in current run: " + ", ".join(self.new_profiles))
+        if self.ok:
+            verdict = "PASS: no regressions beyond tolerance"
+        elif not self.deltas:
+            verdict = "FAIL: no profiles matched between the two reports"
+        else:
+            verdict = f"FAIL: {len(self.regressions)} regression(s) beyond tolerance"
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def _classify(baseline: float, current: float, tolerance: float, floor: float) -> str:
+    if abs(current - baseline) <= floor:
+        return "ok"  # absolute delta within the jitter floor
+    if current > baseline * (1.0 + tolerance):
+        return "regression"
+    if current < baseline * (1.0 - tolerance):
+        return "improvement"
+    return "ok"
+
+
+def compare_reports(
+    baseline: Dict[str, object],
+    current: Dict[str, object],
+    tolerance: float = 0.5,
+) -> Comparison:
+    """Diff ``current`` against ``baseline`` (both report documents).
+
+    Profiles are matched by (name, tier); unmatched profiles are listed
+    and only gate when *nothing* matched.  ``tolerance`` applies to
+    wall-clock and memory; rounds use :data:`ROUNDS_TOLERANCE` and
+    quality flips always gate.
+
+    Raises
+    ------
+    ValueError
+        If the two reports were produced at different suites (a smoke
+        baseline says nothing about a table1 run).
+    """
+    if baseline.get("suite") != current.get("suite"):
+        raise ValueError(
+            f"cannot compare reports from different suites: "
+            f"baseline is {baseline.get('suite')!r}, current is {current.get('suite')!r}"
+        )
+    base = {(r.profile, r.tier): r for r in report_records(baseline)}
+    curr = {(r.profile, r.tier): r for r in report_records(current)}
+    comparison = Comparison(tolerance=tolerance)
+    comparison.missing_profiles = sorted(p for p, _ in set(base) - set(curr))
+    comparison.new_profiles = sorted(p for p, _ in set(curr) - set(base))
+
+    for key in sorted(set(base) & set(curr)):
+        b, c = base[key], curr[key]
+        name = b.profile
+        comparison.deltas.append(Delta(
+            name, "construction_seconds",
+            b.construction_seconds, c.construction_seconds,
+            _classify(b.construction_seconds, c.construction_seconds,
+                      tolerance, TIME_FLOOR_SECONDS),
+        ))
+        comparison.deltas.append(Delta(
+            name, "peak_memory_bytes",
+            float(b.peak_memory_bytes), float(c.peak_memory_bytes),
+            _classify(float(b.peak_memory_bytes), float(c.peak_memory_bytes),
+                      tolerance, float(MEMORY_FLOOR_BYTES)),
+        ))
+        if b.rounds is not None and c.rounds is not None:
+            comparison.deltas.append(Delta(
+                name, "rounds", float(b.rounds), float(c.rounds),
+                _classify(float(b.rounds), float(c.rounds), ROUNDS_TOLERANCE, 0.0),
+            ))
+        quality_status = "ok"
+        if b.ok and not c.ok:
+            quality_status = "regression"
+        elif not b.ok and c.ok:
+            quality_status = "improvement"
+        comparison.deltas.append(Delta(
+            name, "quality", float(b.ok), float(c.ok), quality_status,
+        ))
+    return comparison

@@ -1,0 +1,370 @@
+"""Profile execution: build the workload, run the algorithm, certify.
+
+:func:`run_profile` turns one (:class:`~repro.harness.profiles.Profile`,
+tier) pair into a :class:`ProfileRecord` — the machine-readable unit the
+JSON reports are made of.  Construction and certification are
+wall-clock-timed separately (certification is often the more expensive
+half at paper sizes and must not pollute the construction trend), peak
+memory is sampled with :mod:`tracemalloc` around the construction only,
+round counts come from each construction's :class:`RoundLedger`, and
+quality metrics reuse :class:`repro.analysis.report.QualityReport` so
+the bound-certification logic stays in one place.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.analysis.report import MetricRow, QualityReport, net_report, slt_report, spanner_report
+from repro.analysis.validation import verify_spanning_tree
+from repro.congest import RoundLedger, build_bfs_tree
+from repro.core import (
+    build_net,
+    doubling_spanner,
+    estimate_mst_weight_via_nets,
+    light_spanner,
+    shallow_light_tree,
+)
+from repro.graphs import WeightedGraph
+from repro.harness.profiles import Profile, all_profiles
+from repro.mst import boruvka_mst, kruskal_mst
+from repro.spanners import baswana_sen_spanner, elkin_neiman_spanner, greedy_spanner
+
+
+def _root(graph: WeightedGraph):
+    return min(graph.vertices(), key=repr)
+
+
+# Each algorithm entry is (build, certify):
+#   build(graph, params, rng)    -> (artifact, rounds or None)
+#   certify(graph, artifact, params) -> QualityReport
+def _build_slt(graph, params, rng):
+    res = shallow_light_tree(graph, _root(graph), params["alpha"])
+    return res, res.rounds
+
+
+def _certify_slt(graph, res, params):
+    return slt_report(
+        graph, res.tree, res.root,
+        stretch_bound=res.stretch_bound,
+        lightness_bound=res.lightness_bound,
+        rounds=res.rounds,
+    )
+
+
+def _build_light_spanner(graph, params, rng):
+    res = light_spanner(graph, params["k"], params["eps"], rng)
+    return res, res.rounds
+
+
+def _certify_light_spanner(graph, res, params):
+    return spanner_report(
+        graph, res.spanner, stretch_bound=res.stretch_bound, rounds=res.rounds
+    )
+
+
+def _build_net(graph, params, rng):
+    res = build_net(graph, params["scale"], params["delta"], rng)
+    return res, res.rounds
+
+
+def _certify_net(graph, res, params):
+    return net_report(graph, res.points, res.alpha, res.beta, rounds=res.rounds)
+
+
+def _build_doubling(graph, params, rng):
+    res = doubling_spanner(
+        graph, params["eps"], rng, net_method=params.get("net_method", "greedy")
+    )
+    return res, res.rounds
+
+
+def _certify_doubling(graph, res, params):
+    # per-edge stretch is bounded by the pairwise guarantee 1 + 30ε
+    return spanner_report(
+        graph, res.spanner, stretch_bound=res.stretch_bound, rounds=res.rounds
+    )
+
+
+def _build_estimate(graph, params, rng):
+    est = estimate_mst_weight_via_nets(
+        graph, net_method=params.get("net_method", "greedy"), rng=rng
+    )
+    return est, est.ledger.total
+
+
+def _certify_estimate(graph, est, params):
+    # Theorem 7 sandwich: 1 <= Ψ/L <= O(α log n); both sides as upper bounds
+    upper = 16.0 * est.alpha * math.log2(max(graph.n, 2))
+    ratio = est.approximation_ratio
+    rows = [
+        MetricRow("psi/L", ratio, upper),
+        MetricRow("L/psi", 1.0 / ratio if ratio > 0 else float("inf"), 1.0),
+        MetricRow("scales", float(len(est.net_sizes))),
+    ]
+    return QualityReport(title="mst-weight estimate", rows=rows)
+
+
+def _build_baswana_sen(graph, params, rng):
+    ledger = RoundLedger()
+    spanner = baswana_sen_spanner(graph, params["k"], rng, ledger)
+    return (spanner, ledger), ledger.total
+
+
+def _certify_baswana_sen(graph, artifact, params):
+    spanner, ledger = artifact
+    bound = 2 * params["k"] - 1
+    return spanner_report(graph, spanner, stretch_bound=bound, rounds=ledger.total)
+
+
+def _build_elkin_neiman(graph, params, rng):
+    adjacency = {v: set(graph.neighbors(v)) for v in graph.vertices()}
+    run = elkin_neiman_spanner(adjacency, params["k"], rng)
+    spanner = WeightedGraph(graph.vertices())
+    for edge in run.edges:
+        u, v = tuple(edge)
+        spanner.add_edge(u, v, graph.weight(u, v))
+    return (run, spanner), run.rounds
+
+
+def _certify_elkin_neiman(graph, artifact, params):
+    run, spanner = artifact
+    bound = 2 * params["k"] - 1
+    return spanner_report(graph, spanner, stretch_bound=bound, rounds=run.rounds)
+
+
+def _build_greedy_spanner(graph, params, rng):
+    return greedy_spanner(graph, 2 * params["k"] - 1), None
+
+
+def _certify_greedy_spanner(graph, spanner, params):
+    return spanner_report(graph, spanner, stretch_bound=2 * params["k"] - 1)
+
+
+def _build_mst(graph, params, rng):
+    res = boruvka_mst(graph)
+    return res, res.rounds
+
+
+def _certify_mst(graph, res, params):
+    verify_spanning_tree(graph, res.tree)
+    optimal = kruskal_mst(graph).total_weight()
+    ratio = res.tree.total_weight() / optimal if optimal > 0 else 1.0
+    rows = [
+        MetricRow("weight/optimal", ratio, 1.0),
+        MetricRow("phases", float(res.phases), float(math.ceil(math.log2(max(graph.n, 2))))),
+        MetricRow("rounds", float(res.rounds)),
+    ]
+    return QualityReport(title="boruvka mst", rows=rows)
+
+
+def _build_congest_bfs(graph, params, rng):
+    tree = build_bfs_tree(graph, _root(graph))
+    return tree, tree.rounds
+
+
+def _certify_congest_bfs(graph, tree, params):
+    depth = max(tree.depth.values())
+    rows = [
+        MetricRow("reached", float(len(tree.depth)), float(graph.n)),
+        MetricRow("depth", float(depth)),
+        # the flood settles within depth + O(1) synchronous rounds
+        MetricRow("rounds", float(tree.rounds), float(depth + 3)),
+    ]
+    return QualityReport(title="congest bfs", rows=rows)
+
+
+BuildFn = Callable[..., Tuple[object, Optional[int]]]
+CertifyFn = Callable[..., QualityReport]
+
+#: algorithm name -> (build, certify); profiles reference these keys.
+ALGORITHMS: Dict[str, Tuple[BuildFn, CertifyFn]] = {
+    "slt": (_build_slt, _certify_slt),
+    "light-spanner": (_build_light_spanner, _certify_light_spanner),
+    "net": (_build_net, _certify_net),
+    "doubling-spanner": (_build_doubling, _certify_doubling),
+    "estimate": (_build_estimate, _certify_estimate),
+    "baswana-sen": (_build_baswana_sen, _certify_baswana_sen),
+    "elkin-neiman": (_build_elkin_neiman, _certify_elkin_neiman),
+    "greedy-spanner": (_build_greedy_spanner, _certify_greedy_spanner),
+    "mst": (_build_mst, _certify_mst),
+    "congest-bfs": (_build_congest_bfs, _certify_congest_bfs),
+}
+
+
+@dataclass
+class ProfileRecord:
+    """The machine-readable outcome of one profile run at one tier."""
+
+    profile: str
+    tier: str
+    family: str
+    algorithm: str
+    section: str
+    seed: int
+    params: Dict[str, object]
+    n: int
+    m: int
+    generation_seconds: float
+    construction_seconds: float
+    certification_seconds: float
+    peak_memory_bytes: int
+    rounds: Optional[int]
+    metrics: Dict[str, Dict[str, object]]
+    ok: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON form (inverse of :meth:`from_dict`)."""
+        return {
+            "profile": self.profile,
+            "tier": self.tier,
+            "family": self.family,
+            "algorithm": self.algorithm,
+            "section": self.section,
+            "seed": self.seed,
+            "params": dict(self.params),
+            "graph": {"n": self.n, "m": self.m},
+            "timings": {
+                "generation_seconds": self.generation_seconds,
+                "construction_seconds": self.construction_seconds,
+                "certification_seconds": self.certification_seconds,
+            },
+            "peak_memory_bytes": self.peak_memory_bytes,
+            "rounds": self.rounds,
+            "metrics": {k: dict(v) for k, v in self.metrics.items()},
+            "ok": self.ok,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ProfileRecord":
+        """Rebuild a record from its JSON form."""
+        timings = data["timings"]
+        graph = data["graph"]
+        return cls(
+            profile=data["profile"],
+            tier=data["tier"],
+            family=data["family"],
+            algorithm=data["algorithm"],
+            section=data["section"],
+            seed=data["seed"],
+            params=dict(data["params"]),
+            n=graph["n"],
+            m=graph["m"],
+            generation_seconds=timings["generation_seconds"],
+            construction_seconds=timings["construction_seconds"],
+            certification_seconds=timings["certification_seconds"],
+            peak_memory_bytes=data["peak_memory_bytes"],
+            rounds=data["rounds"],
+            metrics={k: dict(v) for k, v in data["metrics"].items()},
+            ok=data["ok"],
+        )
+
+
+def _report_metrics(report: QualityReport) -> Dict[str, Dict[str, object]]:
+    return {
+        row.name: {"measured": row.measured, "bound": row.bound, "ok": row.ok}
+        for row in report.rows
+    }
+
+
+def run_profile(
+    profile: Profile,
+    tier: str,
+    certify: bool = True,
+    measure_memory: bool = True,
+) -> ProfileRecord:
+    """Execute ``profile`` at ``tier`` and return its record.
+
+    The construction is wall-clock-timed with :mod:`tracemalloc` *off*
+    (tracing slows allocation-heavy Python severalfold and would
+    misrepresent real speed); when ``measure_memory`` is set the
+    construction is then re-run — same seed, so the same work — under
+    tracing to sample peak memory.  Pass ``measure_memory=False`` to
+    skip the second pass on expensive tiers.
+
+    Raises
+    ------
+    KeyError
+        On an unknown tier or algorithm.
+    """
+    build, certify_fn = ALGORITHMS[profile.algorithm]
+    params = profile.algo_params(tier)
+
+    t0 = time.perf_counter()
+    graph = profile.build_graph(tier)
+    generation_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    artifact, rounds = build(graph, params, random.Random(profile.seed))
+    construction_seconds = time.perf_counter() - t0
+
+    peak_memory = 0
+    if measure_memory:
+        tracemalloc_was_tracing = tracemalloc.is_tracing()
+        if not tracemalloc_was_tracing:
+            tracemalloc.start()
+        tracemalloc.reset_peak()
+        build(graph, params, random.Random(profile.seed))
+        _, peak_memory = tracemalloc.get_traced_memory()
+        if not tracemalloc_was_tracing:
+            tracemalloc.stop()
+
+    metrics: Dict[str, Dict[str, object]] = {}
+    ok = True
+    certification_seconds = 0.0
+    if certify:
+        t0 = time.perf_counter()
+        report = certify_fn(graph, artifact, params)
+        certification_seconds = time.perf_counter() - t0
+        metrics = _report_metrics(report)
+        ok = report.ok
+
+    return ProfileRecord(
+        profile=profile.name,
+        tier=tier,
+        family=profile.family,
+        algorithm=profile.algorithm,
+        section=profile.section,
+        seed=profile.seed,
+        params=params,
+        n=graph.n,
+        m=graph.m,
+        generation_seconds=generation_seconds,
+        construction_seconds=construction_seconds,
+        certification_seconds=certification_seconds,
+        peak_memory_bytes=peak_memory,
+        rounds=rounds,
+        metrics=metrics,
+        ok=ok,
+    )
+
+
+def run_suite(
+    profiles: Optional[List[Profile]] = None,
+    tier: str = "smoke",
+    certify: bool = True,
+    measure_memory: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[ProfileRecord]:
+    """Run ``profiles`` (default: all registered) at ``tier`` in name order."""
+    selected = profiles if profiles is not None else all_profiles()
+    records: List[ProfileRecord] = []
+    for i, profile in enumerate(selected, start=1):
+        record = run_profile(profile, tier, certify=certify,
+                             measure_memory=measure_memory)
+        records.append(record)
+        if progress is not None:
+            status = "ok" if record.ok else "VIOLATED"
+            rounds = "-" if record.rounds is None else str(record.rounds)
+            progress(
+                f"[{i}/{len(selected)}] {profile.name:<24} n={record.n:<5} "
+                f"build {record.construction_seconds:7.3f}s  "
+                f"cert {record.certification_seconds:7.3f}s  "
+                f"rounds {rounds:>6}  {status}"
+            )
+    return records

@@ -22,15 +22,45 @@ from repro.graphs.weighted_graph import WeightedGraph
 PathLike = Union[str, Path]
 
 
+def _vertex_token(v) -> str:
+    """``str(v)``, validated to survive the edge-list round trip.
+
+    Raises
+    ------
+    ValueError
+        If the rendering is empty, contains whitespace (would split into
+        extra tokens), or contains ``#`` (would be truncated as a
+        comment) — any of which :func:`read_edge_list` mis-parses.
+        Use :func:`write_json` for such vertex ids.
+    """
+    token = str(v)
+    if not token or "#" in token or any(ch.isspace() for ch in token):
+        raise ValueError(
+            f"vertex id {v!r} cannot be written as an edge list: its string "
+            f"form {token!r} is empty or contains whitespace/'#' and would "
+            f"not round-trip through read_edge_list; use write_json instead"
+        )
+    return token
+
+
 def write_edge_list(graph: WeightedGraph, path: PathLike) -> None:
-    """Write ``graph`` as a whitespace-separated edge list."""
+    """Write ``graph`` as a whitespace-separated edge list.
+
+    Raises
+    ------
+    ValueError
+        If any vertex id's string form would not survive the round trip
+        (empty, whitespace, or ``#`` — see :func:`_vertex_token`).
+    """
+    lines = []
+    isolated = [v for v in graph.vertices() if graph.degree(v) == 0]
+    for v in sorted(isolated, key=repr):
+        lines.append(f"{_vertex_token(v)}\n")
+    for u, v, w in sorted(graph.edges(), key=lambda e: (repr(e[0]), repr(e[1]))):
+        lines.append(f"{_vertex_token(u)} {_vertex_token(v)} {w!r}\n")
     with open(path, "w") as fh:
         fh.write(f"# n={graph.n} m={graph.m}\n")
-        isolated = [v for v in graph.vertices() if graph.degree(v) == 0]
-        for v in sorted(isolated, key=repr):
-            fh.write(f"{v}\n")
-        for u, v, w in sorted(graph.edges(), key=lambda e: (repr(e[0]), repr(e[1]))):
-            fh.write(f"{u} {v} {w!r}\n")
+        fh.writelines(lines)
 
 
 def _parse_token(token: str):
