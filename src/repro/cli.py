@@ -163,17 +163,28 @@ def cmd_bench(args: argparse.Namespace) -> int:
             print(f"{'':<26} {p.description}")
         return 0
 
+    # --suite is a size tier, or the named "congest" group (the CONGEST
+    # profiles at smoke sizes — what CI's congest-smoke job runs)
+    if args.suite == "congest":
+        tier, default_selection = "smoke", harness.congest_profiles()
+    else:
+        tier, default_selection = args.suite, harness.all_profiles()
+
     if args.profiles:
         try:
             selected = [harness.get_profile(name) for name in args.profiles]
         except KeyError as exc:
             raise SystemExit(f"error: {exc.args[0]}")
     else:
-        selected = harness.all_profiles()
+        selected = default_selection
 
-    print(f"running {len(selected)} profile(s) at tier {args.suite!r}")
+    print(
+        f"running {len(selected)} profile(s) at tier {tier!r} "
+        f"({args.engine} engine)"
+    )
     records = harness.run_suite(
-        selected, tier=args.suite, measure_memory=not args.no_memory, progress=print
+        selected, tier=tier, measure_memory=not args.no_memory, progress=print,
+        engine=args.engine,
     )
     violated = [r.profile for r in records if not r.ok]
     rc = 0
@@ -261,8 +272,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="run only this profile (repeatable; default: all)",
     )
     p.add_argument(
-        "--suite", choices=["smoke", "table1", "stress"], default="smoke",
-        help="size tier to run (default: smoke)",
+        "--suite", choices=["smoke", "table1", "stress", "congest"],
+        default="smoke",
+        help="size tier to run, or 'congest' for the CONGEST-layer "
+             "profiles at smoke sizes (default: smoke)",
+    )
+    p.add_argument(
+        "--engine", choices=["sparse", "dense"], default="sparse",
+        help="CONGEST round engine for congest-* profiles: the "
+             "sparse-activation engine (default) or the dense "
+             "scan-everything compatibility loop",
     )
     p.add_argument("--out", help="write the JSON report here (e.g. BENCH_smoke.json)")
     p.add_argument("--compare", metavar="BASELINE",

@@ -8,9 +8,12 @@ complexity = number of rounds.
 This package provides:
 
 * :class:`~repro.congest.simulator.SyncNetwork` — a faithful synchronous
-  executor with per-edge bandwidth enforcement and round counting;
+  executor with per-edge bandwidth enforcement and round counting; its
+  default sparse-activation engine steps only nodes with mail or a
+  requested wake-up (``dense=True`` retains the scan-everything loop);
 * :class:`~repro.congest.algorithm.CongestAlgorithm` — the node-program
-  interface (purely local knowledge);
+  interface (purely local knowledge), including the activity contract
+  the sparse engine relies on;
 * :mod:`~repro.congest.bfs` — a natively-simulated BFS-tree construction
   (the tree τ all the paper's constructions assume, §2);
 * :mod:`~repro.congest.primitives` — Lemma-1 broadcast / convergecast cost

@@ -72,6 +72,10 @@ class DistributedBFS(CongestAlgorithm):
     Round r delivers the frontier at hop distance r.  Each message is a
     single word (the sender's depth).  Nodes adopt the first sender as
     parent, ties broken by id order — deterministic, per the model.
+
+    Purely mail-driven (activity contract): only the flood frontier is
+    ever stepped by the sparse engine, so a BFS over n nodes costs
+    O(n + m) node-steps total instead of O(n · depth).
     """
 
     def __init__(self, root: Vertex) -> None:

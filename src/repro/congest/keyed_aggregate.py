@@ -86,6 +86,9 @@ class KeyedMaxConvergecast(CongestAlgorithm):
             if node.id == self.tree.root:
                 node.state["agg_result"][k] = value
                 return self._emit(node)  # local: root drains freely
+            # activity contract: another key may become emittable (or the
+            # end-of-stream sentinel due) next round without new mail
+            node.request_wake()
             return {parent: (k, value)}
         # done when nothing pending and every child finished
         if not node.state["agg_pending"] and all(

@@ -56,9 +56,15 @@ class PipelinedConvergecast(CongestAlgorithm):
 
     def _emit(self, node: NodeView) -> Outbox:
         parent = self.tree.parent[node.id]
-        if parent is None or not node.state["cc_queue"]:
+        queue = node.state["cc_queue"]
+        if parent is None or not queue:
             return {}
-        return {parent: node.state["cc_queue"].pop(0)}
+        out = {parent: queue.pop(0)}
+        if queue:
+            # activity contract: messages still queued locally — ask to be
+            # stepped next round even if no new mail arrives
+            node.request_wake()
+        return out
 
     def step(self, node: NodeView, inbox: Inbox) -> Outbox:
         for _, payload in sorted(inbox.items(), key=lambda kv: repr(kv[0])):
@@ -109,6 +115,9 @@ class PipelinedBroadcast(CongestAlgorithm):
                 # one message per tree edge per round: same payload to all
                 # children simultaneously (distinct edges)
                 out[child] = ("d", payload)
+        if node.state["bc_up_queue"] or node.state["bc_down_queue"]:
+            # activity contract: local queues still draining
+            node.request_wake()
         return out
 
     def step(self, node: NodeView, inbox: Inbox) -> Outbox:

@@ -12,11 +12,28 @@ constraints:
   condition to catch.
 * **Synchrony** — messages sent in round ``r`` are delivered at the start
   of round ``r + 1``; the round counter is the complexity measure.
+
+Two round engines share those semantics:
+
+* The **sparse-activation engine** (default) steps a node only when it
+  has mail or requested a wake-up (see the activity contract in
+  :mod:`repro.congest.algorithm`), maintains termination with an
+  incrementally updated done-counter instead of scanning every view each
+  round, and delivers messages through persistent integer-indexed inbox
+  buffers — so a pipelined broadcast that keeps only a tree frontier
+  busy pays O(active) Python-call overhead per round, not O(n).
+* The **dense engine** (``dense=True``) is the scan-everything
+  compatibility loop: every node is stepped and polled every round.  It
+  backs the sparse/dense parity suite and runs non-conforming programs.
+
+Both engines step scheduled nodes in ascending dense-index order, so a
+program honouring the activity contract produces byte-identical message
+traces on either.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, List, Optional, Tuple, Union
+from typing import Any, Dict, Hashable, List, Optional, Union
 
 from repro.congest.algorithm import CongestAlgorithm, NodeView
 from repro.graphs.csr import CSRGraph
@@ -27,6 +44,16 @@ Vertex = Hashable
 
 class BandwidthViolation(RuntimeError):
     """A node tried to send a message exceeding the per-edge word budget."""
+
+
+#: memo for :func:`payload_words`, keyed by the (hashable) payload itself.
+#: Node programs send the same few payload shapes over and over (tags,
+#: small tuples of ids and weights), so repeated word counting is wasted
+#: work.  Equal payloads always count the same words (the accounting is a
+#: function of structure and value), so equality-based memoization is
+#: sound.  Bounded: cleared wholesale if it ever grows pathological.
+_WORDS_CACHE: Dict[Any, int] = {}
+_WORDS_CACHE_MAX = 1 << 16
 
 
 def payload_words(payload: Any) -> int:
@@ -40,8 +67,24 @@ def payload_words(payload: Any) -> int:
     * strings — 1 word per 8 characters (tags like "join" are 1 word);
     * tuples / lists / sets / dicts — sum over entries.
 
-    Every non-``None`` message costs at least 1 word.
+    Every non-``None`` message costs at least 1 word.  Results are
+    memoized for hashable payloads (the common case: repeated small
+    tuples of ids and weights).
     """
+    try:
+        return _WORDS_CACHE[payload]
+    except KeyError:
+        pass
+    except TypeError:  # unhashable (lists, dicts, nested unhashables)
+        return _uncached_payload_words(payload)
+    words = _uncached_payload_words(payload)
+    if len(_WORDS_CACHE) >= _WORDS_CACHE_MAX:
+        _WORDS_CACHE.clear()
+    _WORDS_CACHE[payload] = words
+    return words
+
+
+def _uncached_payload_words(payload: Any) -> int:
     if payload is None:
         return 0
     if isinstance(payload, bool) or isinstance(payload, (int, float)):
@@ -74,6 +117,20 @@ class SyncNetwork:
     strict_bandwidth:
         When True (default), oversized messages raise
         :class:`BandwidthViolation`.
+    dense:
+        When True, run the scan-everything compatibility engine (every
+        node stepped and polled every round).  The default sparse engine
+        requires node programs to honour the activity contract of
+        :mod:`repro.congest.algorithm`.
+
+    Counters
+    --------
+    ``rounds_executed``, ``messages_sent``, ``words_sent`` and
+    ``active_node_rounds`` (the number of ``step`` invocations — the
+    sparse engine's utilization measure) cover the current run and are
+    zeroed by :meth:`reset`; the ``total_*`` counterparts accumulate over
+    the network's lifetime so multi-phase constructions that reuse one
+    network can report aggregate traffic.
     """
 
     def __init__(
@@ -81,19 +138,28 @@ class SyncNetwork:
         graph: Union[WeightedGraph, CSRGraph],
         words_per_message: int = 4,
         strict_bandwidth: bool = True,
+        dense: bool = False,
     ) -> None:
         self.graph = graph
         self.words_per_message = words_per_message
         self.strict_bandwidth = strict_bandwidth
+        self.dense = dense
         self.rounds_executed = 0
         self.messages_sent = 0
         self.words_sent = 0
+        self.active_node_rounds = 0
+        self.total_rounds = 0
+        self.total_messages_sent = 0
+        self.total_words_sent = 0
+        self.total_active_node_rounds = 0
         # dense relabeling: node i of the round loop is label _verts[i]
         self._verts: List[Vertex] = list(graph.vertices())
         self._vidx: Dict[Vertex, int] = {v: i for i, v in enumerate(self._verts)}
         self._view_list: List[NodeView] = [
             NodeView(v, dict(graph.neighbor_items(v))) for v in self._verts
         ]
+        for view in self._view_list:
+            view._network = self
         self._views: Dict[Vertex, NodeView] = {
             v: view for v, view in zip(self._verts, self._view_list)
         }
@@ -108,17 +174,25 @@ class SyncNetwork:
         return dict(self._views)
 
     def reset(self) -> None:
-        """Clear node state and counters (reuse the network for a new run)."""
+        """Clear node state and per-run counters (reuse the network for a
+        new run).  Lifetime ``total_*`` counters are preserved."""
         self.rounds_executed = 0
         self.messages_sent = 0
         self.words_sent = 0
+        self.active_node_rounds = 0
         for view in self._views.values():
             view.state = {}
+            view._wake = False
 
     # ------------------------------------------------------------------
     def _check_outbox(
         self, sender: Vertex, view: NodeView, outbox: Dict[Vertex, Any]
     ) -> None:
+        # Validate the whole outbox before touching the counters: a raised
+        # BandwidthViolation / ValueError must not leave messages_sent or
+        # words_sent partially advanced by earlier messages of the same
+        # outbox.
+        words_total = 0
         for dst, payload in outbox.items():
             if dst not in view._incident:
                 raise ValueError(
@@ -130,8 +204,11 @@ class SyncNetwork:
                     f"node {sender!r} -> {dst!r}: payload {payload!r} is "
                     f"{words} words, budget is {self.words_per_message}"
                 )
-            self.messages_sent += 1
-            self.words_sent += words
+            words_total += words
+        self.messages_sent += len(outbox)
+        self.words_sent += words_total
+        self.total_messages_sent += len(outbox)
+        self.total_words_sent += words_total
 
     def run(
         self,
@@ -150,11 +227,151 @@ class SyncNetwork:
         RuntimeError
             If ``max_rounds`` elapses before termination (runaway
             algorithms are bugs; the paper's algorithms all have explicit
-            round bounds).
+            round bounds), or — sparse engine only — if the run stalls:
+            some node is not done yet no node has mail, a wake request or
+            ``always_active`` scheduling, so no future round can change
+            anything.  A stall means the program violates the activity
+            contract; ``dense=True`` reproduces the legacy behaviour
+            (spinning to ``max_rounds``).
         """
-        # message fan-out over dense indices: inflight[i] is the inbox of
-        # node self._verts[i] for the next round (keys stay labels — the
-        # NodeView API promises sender ids)
+        if self.dense:
+            rounds = self._run_dense(algorithm, max_rounds, quiesce)
+        else:
+            rounds = self._run_sparse(algorithm, max_rounds, quiesce)
+        for view in self._view_list:
+            algorithm.finish(view)
+        return rounds
+
+    # ------------------------------------------------------------------
+    def _run_sparse(
+        self, algorithm: CongestAlgorithm, max_rounds: int, quiesce: bool
+    ) -> int:
+        n = len(self._verts)
+        verts, vidx, view_list = self._verts, self._vidx, self._view_list
+        is_done = algorithm.is_done
+        step = algorithm.step
+        always = bool(algorithm.always_active)
+
+        # Persistent integer-indexed inbox buffers, double-buffered: nodes
+        # read round-r mail from ``cur_box`` while round-(r+1) mail lands
+        # in ``nxt_box``.  Only mailed slots are ever reallocated, so the
+        # per-round allocation cost is O(active), not O(n).
+        cur_box: List[Dict[Vertex, Any]] = [{} for _ in range(n)]
+        nxt_box: List[Dict[Vertex, Any]] = [{} for _ in range(n)]
+        cur_mail: List[int] = []  # indices holding mail for the current round
+        nxt_mail: List[int] = []
+        nxt_flag = bytearray(n)  # membership mask for nxt_mail
+
+        done = bytearray(n)
+        done_count = 0
+        wake: List[int] = []  # indices that requested a wake for next round
+        wake_flag = bytearray(n)
+
+        # Round 0: setup.
+        for i in range(n):
+            view = view_list[i]
+            view._wake = False
+            outbox = algorithm.setup(view) or {}
+            self._check_outbox(verts[i], view, outbox)
+            for dst, payload in outbox.items():
+                j = vidx[dst]
+                nxt_box[j][verts[i]] = payload
+                if not nxt_flag[j]:
+                    nxt_flag[j] = 1
+                    nxt_mail.append(j)
+            if view._wake:
+                view._wake = False
+                if not wake_flag[i]:
+                    wake_flag[i] = 1
+                    wake.append(i)
+            if is_done(view):
+                done[i] = 1
+                done_count += 1
+        self.rounds_executed = 1
+        self.total_rounds += 1
+
+        while True:
+            all_done = done_count == n
+            if quiesce and all_done and not nxt_mail:
+                break
+            if self.rounds_executed >= max_rounds:
+                if all_done and not nxt_mail:
+                    break
+                raise RuntimeError(
+                    f"algorithm did not terminate within {max_rounds} rounds"
+                )
+            if quiesce and not nxt_mail and not wake and not always:
+                # Some node is not done, but nothing is scheduled: no
+                # future round can change anything.  Fail fast instead of
+                # spinning to max_rounds like the dense engine would.
+                stalled = n - done_count
+                raise RuntimeError(
+                    f"sparse engine stalled after {self.rounds_executed} "
+                    f"round(s): {stalled} node(s) not done but no mail, "
+                    f"wake requests or always_active scheduling — the node "
+                    f"program violates the activity contract (see "
+                    f"repro.congest.algorithm; dense=True reproduces the "
+                    f"legacy scan-everything behaviour)"
+                )
+
+            # Swap buffers: last round's outgoing mail becomes delivery.
+            cur_box, nxt_box = nxt_box, cur_box
+            cur_mail, nxt_mail = nxt_mail, cur_mail
+            nxt_mail.clear()
+            for j in cur_mail:
+                nxt_flag[j] = 0
+
+            cur_wake, wake = wake, []
+            for i in cur_wake:
+                wake_flag[i] = 0
+
+            if always:
+                schedule: Any = range(n)
+            elif cur_wake:
+                merged = set(cur_mail)
+                merged.update(cur_wake)
+                schedule = sorted(merged)
+            else:
+                schedule = sorted(cur_mail)
+
+            active = 0
+            for i in schedule:
+                view = view_list[i]
+                inbox = cur_box[i]
+                outbox = step(view, inbox) or {}
+                if inbox:
+                    cur_box[i] = {}
+                if outbox:
+                    self._check_outbox(verts[i], view, outbox)
+                    for dst, payload in outbox.items():
+                        j = vidx[dst]
+                        nxt_box[j][verts[i]] = payload
+                        if not nxt_flag[j]:
+                            nxt_flag[j] = 1
+                            nxt_mail.append(j)
+                if view._wake:
+                    view._wake = False
+                    if not wake_flag[i]:
+                        wake_flag[i] = 1
+                        wake.append(i)
+                now_done = is_done(view)
+                if now_done != bool(done[i]):
+                    done[i] = 1 if now_done else 0
+                    done_count += 1 if now_done else -1
+                active += 1
+            self.active_node_rounds += active
+            self.total_active_node_rounds += active
+            self.rounds_executed += 1
+            self.total_rounds += 1
+        return self.rounds_executed
+
+    # ------------------------------------------------------------------
+    def _run_dense(
+        self, algorithm: CongestAlgorithm, max_rounds: int, quiesce: bool
+    ) -> int:
+        # The legacy scan-everything loop: every node is stepped and
+        # polled every round.  Kept as the parity reference and for
+        # programs that predate the activity contract.
         n = len(self._verts)
         verts, vidx, view_list = self._verts, self._vidx, self._view_list
         inflight: List[Dict[Vertex, Any]] = [{} for _ in range(n)]
@@ -163,6 +380,7 @@ class SyncNetwork:
         any_message = False
         for i in range(n):
             view = view_list[i]
+            view._wake = False
             outbox = algorithm.setup(view) or {}
             sender = verts[i]
             self._check_outbox(sender, view, outbox)
@@ -170,6 +388,7 @@ class SyncNetwork:
                 inflight[vidx[dst]][sender] = payload
                 any_message = True
         self.rounds_executed = 1
+        self.total_rounds += 1
 
         is_done = algorithm.is_done
         step = algorithm.step
@@ -188,6 +407,7 @@ class SyncNetwork:
             any_message = False
             for i in range(n):
                 view = view_list[i]
+                view._wake = False  # wake requests are moot when dense
                 outbox = step(view, delivery[i]) or {}
                 if outbox:
                     sender = verts[i]
@@ -195,14 +415,16 @@ class SyncNetwork:
                     for dst, payload in outbox.items():
                         inflight[vidx[dst]][sender] = payload
                         any_message = True
+            self.active_node_rounds += n
+            self.total_active_node_rounds += n
             self.rounds_executed += 1
-
-        for view in view_list:
-            algorithm.finish(view)
+            self.total_rounds += 1
         return self.rounds_executed
 
     def __repr__(self) -> str:
+        engine = "dense" if self.dense else "sparse"
         return (
             f"SyncNetwork(n={self.graph.n}, m={self.graph.m}, "
-            f"rounds={self.rounds_executed}, msgs={self.messages_sent})"
+            f"engine={engine}, rounds={self.rounds_executed}, "
+            f"msgs={self.messages_sent})"
         )

@@ -57,6 +57,9 @@ class IntervalScan(CongestAlgorithm):
     positions; positions j and j+1 belong to the two endpoint vertices of
     an MST edge, so the hand-off ``j → j+1`` is a message on that edge,
     tagged by the receiving position index (1 more word).
+
+    Purely mail-driven (activity contract): each round the sparse engine
+    steps only the ⌈size/α⌉ token holders, not all n vertices.
     """
 
     def __init__(self, tour: EulerTour, spt_dist: Dict[Vertex, float], eps: float,

@@ -87,12 +87,16 @@ class ClusterSimulationResult:
         Per-[EN17b]-round (convergecast, broadcast) measured rounds.
     shifts:
         The exponential shifts used.
+    cluster_graph:
+        The cluster-level adjacency the simulation ran on — the abstract
+        graph a reference [EN17b] run must use to certify the edges.
     """
 
     edges: Set[FrozenSet[Cluster]]
     rounds: int
     round_breakdown: List[Tuple[int, int]] = field(default_factory=list)
     shifts: Dict[Cluster, float] = field(default_factory=dict)
+    cluster_graph: Dict[Cluster, Set[Cluster]] = field(default_factory=dict)
 
 
 def simulate_case1_bucket(
@@ -103,6 +107,7 @@ def simulate_case1_bucket(
     rng: Optional[random.Random] = None,
     shifts: Optional[Dict[Cluster, float]] = None,
     bucket_edges: Optional[List[Tuple[Vertex, Vertex]]] = None,
+    network: Optional[SyncNetwork] = None,
 ) -> ClusterSimulationResult:
     """Run the case-1 simulation of one bucket at message level.
 
@@ -117,6 +122,10 @@ def simulate_case1_bucket(
     bucket_edges:
         The E_i edges defining cluster adjacency; defaults to all edges
         of G.
+    network:
+        Reuse an existing :class:`SyncNetwork` over ``graph`` for every
+        phase (e.g. to pick the dense engine or accumulate lifetime
+        traffic counters); a fresh sparse-engine network by default.
 
     Raises
     ------
@@ -161,7 +170,7 @@ def simulate_case1_bucket(
         v: {} for v in graph.vertices()
     }
 
-    net = SyncNetwork(graph)
+    net = network if network is not None else SyncNetwork(graph)
     total_rounds = 0
     breakdown: List[Tuple[int, int]] = []
 
@@ -233,5 +242,6 @@ def simulate_case1_bucket(
         if cand.val >= m[a] - 1.0:
             edges.add(frozenset((a, by_repr[cand.via])))
     return ClusterSimulationResult(
-        edges=edges, rounds=total_rounds, round_breakdown=breakdown, shifts=shifts
+        edges=edges, rounds=total_rounds, round_breakdown=breakdown,
+        shifts=shifts, cluster_graph=cluster_graph,
     )

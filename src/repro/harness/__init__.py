@@ -18,11 +18,20 @@ from repro.harness.profiles import (
     TIERS,
     Profile,
     all_profiles,
+    congest_profiles,
     get_profile,
     profile_names,
     register,
 )
-from repro.harness.runner import ALGORITHMS, ProfileRecord, run_profile, run_suite
+from repro.harness.runner import (
+    ALGORITHMS,
+    CONGEST_ALGORITHMS,
+    ENGINES,
+    NetStats,
+    ProfileRecord,
+    run_profile,
+    run_suite,
+)
 from repro.harness.results import (
     SCHEMA_NAME,
     SCHEMA_VERSION,
@@ -41,10 +50,14 @@ __all__ = [
     "TIERS",
     "Profile",
     "all_profiles",
+    "congest_profiles",
     "get_profile",
     "profile_names",
     "register",
     "ALGORITHMS",
+    "CONGEST_ALGORITHMS",
+    "ENGINES",
+    "NetStats",
     "ProfileRecord",
     "run_profile",
     "run_suite",

@@ -167,6 +167,16 @@ def all_profiles() -> List[Profile]:
     return [_REGISTRY[name] for name in profile_names()]
 
 
+def congest_profiles() -> List[Profile]:
+    """The CONGEST-layer profiles (``python -m repro bench --suite congest``).
+
+    Selected by algorithm: everything that executes message-level on a
+    :class:`~repro.congest.simulator.SyncNetwork`, so a profile added for
+    a new node program is picked up automatically.
+    """
+    return [p for p in all_profiles() if p.algorithm.startswith("congest-")]
+
+
 # ---------------------------------------------------------------------------
 # Built-in profiles
 # ---------------------------------------------------------------------------
@@ -404,5 +414,77 @@ register(Profile(
         "smoke": {"rows": 6, "cols": 6},
         "table1": {"rows": 10, "cols": 10},
         "stress": {"rows": 20, "cols": 20},
+    },
+))
+
+register(Profile(
+    name="congest-broadcast",
+    description="Lemma-1 pipelined broadcast over a BFS tree on a deep grid "
+                "(few messages, many rounds — the sparse engine's showcase)",
+    section="§2 Lemma 1",
+    family="grid",
+    algorithm="congest-broadcast",
+    params={"messages": 4},
+    seed=17,
+    tiers={
+        "smoke": {"rows": 6, "cols": 6},
+        "table1": {"rows": 16, "cols": 16},
+        "stress": {"rows": 60, "cols": 60},
+    },
+    tier_params={
+        "table1": {"messages": 8},
+        "stress": {"messages": 12},
+    },
+))
+
+register(Profile(
+    name="congest-convergecast",
+    description="Lemma-1 pipelined convergecast on a long caterpillar "
+                "(activity hugs the spine path to the root)",
+    section="§2 Lemma 1",
+    family="caterpillar",
+    algorithm="congest-convergecast",
+    params={"messages": 6},
+    seed=23,
+    tiers={
+        "smoke": {"spine": 12, "legs_per_vertex": 2},
+        "table1": {"spine": 60, "legs_per_vertex": 3},
+        "stress": {"spine": 300, "legs_per_vertex": 4},
+    },
+    tier_params={
+        "table1": {"messages": 16},
+        "stress": {"messages": 32},
+    },
+))
+
+register(Profile(
+    name="congest-interval-scan",
+    description="§4.1 break-point interval scan: ~√n parallel tokens walk "
+                "the MST Euler tour (only token holders are ever active)",
+    section="§4.1",
+    family="geometric",
+    algorithm="congest-interval-scan",
+    params={"eps": 0.5, "eps_spt": 0.5},
+    seed=9,
+    tiers={
+        "smoke": {"n": 30},
+        "table1": {"n": 120},
+        "stress": {"n": 400},
+    },
+))
+
+register(Profile(
+    name="congest-cluster-round",
+    description="§5 case-1 cluster-graph [EN17b] rounds at message level "
+                "(convergecast + broadcast phases over the BFS tree)",
+    section="§5 case 1",
+    family="er",
+    algorithm="congest-cluster-round",
+    params={"k": 2, "eps": 0.25},
+    seed=31,
+    tiers={
+        "smoke": {"n": 25, "p": 0.25},
+        "table1": {"n": 60, "p": 0.15},
+        "stress": {"n": 140, "p": 0.08},
     },
 ))

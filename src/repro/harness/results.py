@@ -15,6 +15,10 @@ Gating rules (deliberately asymmetric per quantity):
 * peak memory — relative tolerance with a 1 MiB floor;
 * charged rounds — deterministic given the profile seed, so any change
   beyond 1% is flagged;
+* network traffic (messages / words / active-node-rounds, CONGEST
+  profiles) — deterministic like rounds, same 1% gate; comparing a
+  sparse run against a dense baseline shows the utilization win as an
+  ``active_node_rounds`` improvement;
 * quality — a profile whose certification flips from ok to violated is
   always a regression, regardless of tolerance.
 """
@@ -33,7 +37,9 @@ from repro.harness.runner import ProfileRecord
 PathLike = Union[str, "Path"]  # noqa: F821 - keep the io.py convention
 
 SCHEMA_NAME = "repro.harness.bench"
-SCHEMA_VERSION = 1
+#: version 2 added the per-record ``network`` block (messages / words /
+#: active_node_rounds); version-1 reports still load, with those absent.
+SCHEMA_VERSION = 2
 
 #: seconds below which timing deltas are considered pure jitter
 TIME_FLOOR_SECONDS = 0.05
@@ -110,7 +116,9 @@ class Delta:
     """One tracked quantity of one profile, baseline vs current."""
 
     profile: str
-    quantity: str  # "construction_seconds" | "peak_memory_bytes" | "rounds" | "quality"
+    # "construction_seconds" | "peak_memory_bytes" | "rounds" | "messages"
+    # | "words" | "active_node_rounds" | "quality"
+    quantity: str
     baseline: float
     current: float
     status: str  # "improvement" | "regression" | "ok"
@@ -232,6 +240,21 @@ def compare_reports(
                 name, "rounds", float(b.rounds), float(c.rounds),
                 _classify(float(b.rounds), float(c.rounds), ROUNDS_TOLERANCE, 0.0),
             ))
+        # network traffic (CONGEST profiles): messages and words are
+        # seeded-deterministic and engine-independent, so they gate like
+        # rounds; active_node_rounds is the engine's utilization — also
+        # deterministic for a fixed engine, and exactly what a
+        # sparse-vs-dense comparison is meant to surface.
+        for quantity, bval, cval in (
+            ("messages", b.messages, c.messages),
+            ("words", b.words, c.words),
+            ("active_node_rounds", b.active_node_rounds, c.active_node_rounds),
+        ):
+            if bval is not None and cval is not None:
+                comparison.deltas.append(Delta(
+                    name, quantity, float(bval), float(cval),
+                    _classify(float(bval), float(cval), ROUNDS_TOLERANCE, 0.0),
+                ))
         quality_status = "ok"
         if b.ok and not c.ok:
             quality_status = "regression"

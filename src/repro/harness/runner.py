@@ -17,12 +17,19 @@ import math
 import random
 import time
 import tracemalloc
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.analysis.report import MetricRow, QualityReport, net_report, slt_report, spanner_report
 from repro.analysis.validation import verify_spanning_tree
-from repro.congest import RoundLedger, build_bfs_tree
+from repro.congest import (
+    RoundLedger,
+    SyncNetwork,
+    broadcast_messages,
+    build_bfs_tree,
+    convergecast_messages,
+)
 from repro.core import (
     build_net,
     doubling_spanner,
@@ -30,10 +37,19 @@ from repro.core import (
     light_spanner,
     shallow_light_tree,
 )
+from repro.core.breakpoint_scan import run_interval_scan
+from repro.core.cluster_simulation import simulate_case1_bucket
+from repro.core.light_spanner import _case1_clusters
+from repro.core.slt import _select_break_points
 from repro.graphs import WeightedGraph
 from repro.harness.profiles import Profile, all_profiles
 from repro.mst import boruvka_mst, kruskal_mst
 from repro.spanners import baswana_sen_spanner, elkin_neiman_spanner, greedy_spanner
+from repro.spt import approx_spt
+from repro.traversal import compute_euler_tour
+
+#: engine names ``run_profile(engine=...)`` accepts for CONGEST profiles.
+ENGINES = ("sparse", "dense")
 
 
 def _root(graph: WeightedGraph):
@@ -163,9 +179,49 @@ def _certify_mst(graph, res, params):
     return QualityReport(title="boruvka mst", rows=rows)
 
 
-def _build_congest_bfs(graph, params, rng):
-    tree = build_bfs_tree(graph, _root(graph))
-    return tree, tree.rounds
+@dataclass(frozen=True)
+class NetStats:
+    """Measured traffic of a CONGEST profile run (one or more phases).
+
+    ``active_node_rounds`` counts ``step`` invocations — the sparse
+    engine's utilization measure (the dense engine's value is always
+    ``n × step-rounds``).
+    """
+
+    rounds: int
+    messages: int
+    words: int
+    active_node_rounds: int
+
+    @classmethod
+    def of(cls, net: SyncNetwork) -> "NetStats":
+        """Snapshot a network's lifetime counters."""
+        return cls(
+            rounds=net.total_rounds,
+            messages=net.total_messages_sent,
+            words=net.total_words_sent,
+            active_node_rounds=net.total_active_node_rounds,
+        )
+
+
+def _congest_network(graph, params, network):
+    """The network a CONGEST build runs on; honours ``params['engine']``."""
+    if network is not None:
+        return network
+    return SyncNetwork(graph, dense=params.get("engine") == "dense")
+
+
+def _seeded_payloads(graph, params, rng):
+    """Deterministically place one 1-word payload at ``messages`` vertices."""
+    verts = sorted(graph.vertices(), key=repr)
+    count = min(int(params["messages"]), len(verts))
+    return {v: [i] for i, v in enumerate(rng.sample(verts, count))}
+
+
+def _build_congest_bfs(graph, params, rng, network=None):
+    net = _congest_network(graph, params, network)
+    tree = build_bfs_tree(graph, _root(graph), network=net)
+    return tree, tree.rounds, NetStats.of(net)
 
 
 def _certify_congest_bfs(graph, tree, params):
@@ -179,7 +235,119 @@ def _certify_congest_bfs(graph, tree, params):
     return QualityReport(title="congest bfs", rows=rows)
 
 
-BuildFn = Callable[..., Tuple[object, Optional[int]]]
+def _build_congest_broadcast(graph, params, rng, network=None):
+    net = _congest_network(graph, params, network)
+    tree = build_bfs_tree(graph, _root(graph), network=net)
+    payloads = _seeded_payloads(graph, params, rng)
+    received, rounds = broadcast_messages(graph, tree, payloads, network=net)
+    return (tree, payloads, received, rounds), net.total_rounds, NetStats.of(net)
+
+
+def _certify_congest_broadcast(graph, artifact, params):
+    tree, payloads, received, rounds = artifact
+    expected = sorted(m for msgs in payloads.values() for m in msgs)
+    short = sum(1 for v in graph.vertices() if sorted(received[v]) != expected)
+    rows = [
+        MetricRow("undelivered-nodes", float(short), 0.0),
+        MetricRow("messages", float(len(expected))),
+        # Lemma 1: M + 2·height + O(1) measured rounds
+        MetricRow("rounds", float(rounds), float(len(expected) + 2 * tree.height + 4)),
+    ]
+    return QualityReport(title="congest broadcast", rows=rows)
+
+
+def _build_congest_convergecast(graph, params, rng, network=None):
+    net = _congest_network(graph, params, network)
+    tree = build_bfs_tree(graph, _root(graph), network=net)
+    payloads = _seeded_payloads(graph, params, rng)
+    gathered, rounds = convergecast_messages(graph, tree, payloads, network=net)
+    return (tree, payloads, gathered, rounds), net.total_rounds, NetStats.of(net)
+
+
+def _certify_congest_convergecast(graph, artifact, params):
+    tree, payloads, gathered, rounds = artifact
+    expected = sorted(m for msgs in payloads.values() for m in msgs)
+    # multiset symmetric difference: counts dropped AND duplicated /
+    # fabricated payloads (a pure length check would miss a swap)
+    diff = Counter(expected)
+    diff.subtract(Counter(gathered))
+    mismatch = sum(abs(c) for c in diff.values())
+    rows = [
+        MetricRow("multiset-mismatch-at-root", float(mismatch), 0.0),
+        MetricRow("messages", float(len(expected))),
+        # Lemma 1: M + height + O(1) measured rounds
+        MetricRow("rounds", float(rounds), float(len(expected) + tree.height + 4)),
+    ]
+    return QualityReport(title="congest convergecast", rows=rows)
+
+
+def _build_congest_interval_scan(graph, params, rng, network=None):
+    net = _congest_network(graph, params, network)
+    root = _root(graph)
+    mst = kruskal_mst(graph)
+    tour = compute_euler_tour(mst, root)
+    spt = approx_spt(graph, root, params["eps_spt"])
+    result = run_interval_scan(
+        graph, tour, spt.dist, params["eps"], network=net
+    )
+    return (tour, spt, result), result.rounds, NetStats.of(net)
+
+
+def _certify_congest_interval_scan(graph, artifact, params):
+    tour, spt, result = artifact
+    reference, _, _ = _select_break_points(
+        tour, spt.dist, params["eps"], result.alpha, RoundLedger(), 1
+    )
+    mismatches = len(set(result.bp1) ^ set(reference))
+    rows = [
+        MetricRow("bp1-mismatch", float(mismatches), 0.0),
+        MetricRow("bp1-size", float(len(result.bp1))),
+        # §4.1: "after α − 1 rounds this procedure ends"
+        MetricRow("rounds", float(result.rounds), float(result.alpha + 2)),
+    ]
+    return QualityReport(title="congest interval scan", rows=rows)
+
+
+def _build_congest_cluster_round(graph, params, rng, network=None):
+    net = _congest_network(graph, params, network)
+    root = _root(graph)
+    tree = build_bfs_tree(graph, root, network=net)
+    mst = kruskal_mst(graph)
+    tour = compute_euler_tour(mst, root)
+    # bucket width w_i = L / bucket-index with L = 2W (§5); index 2 here,
+    # so the Equation threshold is eps * w_i = eps * W
+    eps_wi = params["eps"] * mst.total_weight()
+    cluster_of = _case1_clusters(tour, eps_wi)
+    sim = simulate_case1_bucket(
+        graph, tree, cluster_of, params["k"], rng=rng, network=net
+    )
+    return (tree, sim), net.total_rounds, NetStats.of(net)
+
+
+def _certify_congest_cluster_round(graph, artifact, params):
+    tree, sim = artifact
+    # the simulation exposes the cluster graph and shifts it ran on, so
+    # the abstract [EN17b] reference certifies against the same inputs
+    pure = elkin_neiman_spanner(sim.cluster_graph, params["k"], shifts=sim.shifts)
+    mismatches = len(sim.edges ^ pure.edges)
+    per_round_cap = 3 * (len(sim.cluster_graph) + 2 * tree.height) + 12
+    worst = max((cc + bc for cc, bc in sim.round_breakdown), default=0)
+    rows = [
+        MetricRow("edge-mismatch", float(mismatches), 0.0),
+        MetricRow("clusters", float(len(sim.cluster_graph))),
+        # each simulated [EN17b] round costs O(|C_i| + D) measured rounds
+        MetricRow("worst-round", float(worst), float(per_round_cap)),
+    ]
+    return QualityReport(title="congest cluster round", rows=rows)
+
+
+# build(graph, params, rng) -> (artifact, rounds) — or, for CONGEST
+# algorithms, build(graph, params, rng, network=None) -> (artifact,
+# rounds, NetStats): the third element feeds the record's network block
+# (a congest-prefixed algorithm returning a 2-tuple would silently record
+# no traffic), and the network kwarg lets the parity suite inject a
+# tracing/dense SyncNetwork.
+BuildFn = Callable[..., Tuple]
 CertifyFn = Callable[..., QualityReport]
 
 #: algorithm name -> (build, certify); profiles reference these keys.
@@ -194,7 +362,25 @@ ALGORITHMS: Dict[str, Tuple[BuildFn, CertifyFn]] = {
     "greedy-spanner": (_build_greedy_spanner, _certify_greedy_spanner),
     "mst": (_build_mst, _certify_mst),
     "congest-bfs": (_build_congest_bfs, _certify_congest_bfs),
+    "congest-broadcast": (_build_congest_broadcast, _certify_congest_broadcast),
+    "congest-convergecast": (
+        _build_congest_convergecast,
+        _certify_congest_convergecast,
+    ),
+    "congest-interval-scan": (
+        _build_congest_interval_scan,
+        _certify_congest_interval_scan,
+    ),
+    "congest-cluster-round": (
+        _build_congest_cluster_round,
+        _certify_congest_cluster_round,
+    ),
 }
+
+#: algorithms that execute on a SyncNetwork and honour ``params["engine"]``.
+CONGEST_ALGORITHMS = frozenset(
+    name for name in ALGORITHMS if name.startswith("congest-")
+)
 
 
 @dataclass
@@ -217,6 +403,11 @@ class ProfileRecord:
     rounds: Optional[int]
     metrics: Dict[str, Dict[str, object]]
     ok: bool
+    # measured network traffic (CONGEST profiles only; None elsewhere and
+    # in schema-version-1 reports)
+    messages: Optional[int] = None
+    words: Optional[int] = None
+    active_node_rounds: Optional[int] = None
 
     def to_dict(self) -> Dict[str, object]:
         """Plain-JSON form (inverse of :meth:`from_dict`)."""
@@ -236,15 +427,21 @@ class ProfileRecord:
             },
             "peak_memory_bytes": self.peak_memory_bytes,
             "rounds": self.rounds,
+            "network": {
+                "messages": self.messages,
+                "words": self.words,
+                "active_node_rounds": self.active_node_rounds,
+            },
             "metrics": {k: dict(v) for k, v in self.metrics.items()},
             "ok": self.ok,
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ProfileRecord":
-        """Rebuild a record from its JSON form."""
+        """Rebuild a record from its JSON form (schema versions 1 and 2)."""
         timings = data["timings"]
         graph = data["graph"]
+        network = data.get("network") or {}
         return cls(
             profile=data["profile"],
             tier=data["tier"],
@@ -262,6 +459,9 @@ class ProfileRecord:
             rounds=data["rounds"],
             metrics={k: dict(v) for k, v in data["metrics"].items()},
             ok=data["ok"],
+            messages=network.get("messages"),
+            words=network.get("words"),
+            active_node_rounds=network.get("active_node_rounds"),
         )
 
 
@@ -277,6 +477,7 @@ def run_profile(
     tier: str,
     certify: bool = True,
     measure_memory: bool = True,
+    engine: str = "sparse",
 ) -> ProfileRecord:
     """Execute ``profile`` at ``tier`` and return its record.
 
@@ -287,20 +488,42 @@ def run_profile(
     tracing to sample peak memory.  Pass ``measure_memory=False`` to
     skip the second pass on expensive tiers.
 
+    ``engine`` selects the CONGEST round engine (``"sparse"`` — the
+    default — or ``"dense"``) for profiles whose algorithm runs on a
+    :class:`~repro.congest.simulator.SyncNetwork`; other profiles ignore
+    it.  The choice is stamped into the record's params, and both engines
+    produce identical rounds/messages/words (the parity suite's claim) —
+    only wall-clock and ``active_node_rounds`` differ.
+
     Raises
     ------
     KeyError
         On an unknown tier or algorithm.
+    ValueError
+        On an unknown engine name.
     """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
     build, certify_fn = ALGORITHMS[profile.algorithm]
     params = profile.algo_params(tier)
+    if profile.algorithm in CONGEST_ALGORITHMS:
+        params["engine"] = engine
 
     t0 = time.perf_counter()
     graph = profile.build_graph(tier)
     generation_seconds = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    artifact, rounds = build(graph, params, random.Random(profile.seed))
+    built = build(graph, params, random.Random(profile.seed))
+    artifact, rounds = built[0], built[1]
+    stats: Optional[NetStats] = built[2] if len(built) > 2 else None
+    if stats is None and profile.algorithm in CONGEST_ALGORITHMS:
+        # a congest build that forgets the NetStats element would silently
+        # disable the messages/words/active-node-rounds regression gate
+        raise TypeError(
+            f"CONGEST build {profile.algorithm!r} must return "
+            f"(artifact, rounds, NetStats)"
+        )
     construction_seconds = time.perf_counter() - t0
 
     peak_memory = 0
@@ -341,6 +564,9 @@ def run_profile(
         rounds=rounds,
         metrics=metrics,
         ok=ok,
+        messages=stats.messages if stats is not None else None,
+        words=stats.words if stats is not None else None,
+        active_node_rounds=stats.active_node_rounds if stats is not None else None,
     )
 
 
@@ -350,13 +576,14 @@ def run_suite(
     certify: bool = True,
     measure_memory: bool = True,
     progress: Optional[Callable[[str], None]] = None,
+    engine: str = "sparse",
 ) -> List[ProfileRecord]:
     """Run ``profiles`` (default: all registered) at ``tier`` in name order."""
     selected = profiles if profiles is not None else all_profiles()
     records: List[ProfileRecord] = []
     for i, profile in enumerate(selected, start=1):
         record = run_profile(profile, tier, certify=certify,
-                             measure_memory=measure_memory)
+                             measure_memory=measure_memory, engine=engine)
         records.append(record)
         if progress is not None:
             status = "ok" if record.ok else "VIOLATED"

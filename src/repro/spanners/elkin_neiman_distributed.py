@@ -29,6 +29,12 @@ class DistributedElkinNeiman(CongestAlgorithm):
 
     State written per node: ``en_edges`` — the set of neighbours the node
     buys spanner edges to (sources within 1 of its max, §5's rule).
+
+    Activity contract: every node with a neighbour transmits in every
+    round until k, so mail alone keeps the whole graph active for the
+    algorithm's k rounds — ``en_round`` (mail-bearing rounds seen) then
+    coincides with the global round counter, and isolated nodes are
+    terminated at setup.
     """
 
     def __init__(self, shifts: Dict[Vertex, float], k: int) -> None:
@@ -36,7 +42,9 @@ class DistributedElkinNeiman(CongestAlgorithm):
         self.k = k
 
     def setup(self, node: NodeView) -> Outbox:
-        node.state["en_round"] = 0
+        # Isolated nodes never receive mail, so (activity contract) they
+        # must terminate immediately rather than count empty rounds.
+        node.state["en_round"] = self.k if node.degree == 0 else 0
         node.state["en_m"] = self.shifts[node.id]
         node.state["en_source"] = node.id
         node.state["en_best"] = {}  # source -> (value, delivering neighbour)

@@ -31,7 +31,8 @@ class DistributedBellmanFord(CongestAlgorithm):
     State per node: ``bf_dist`` (current estimate), ``bf_parent``.
     Message: the sender's new estimate (1 word).  A node only transmits in
     rounds where its estimate improved, so the algorithm quiesces once all
-    estimates are final.
+    estimates are final.  Purely mail-driven (activity contract): the
+    sparse engine steps only nodes whose neighbourhood changed.
     """
 
     def __init__(self, root: Vertex) -> None:

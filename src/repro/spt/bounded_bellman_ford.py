@@ -38,7 +38,6 @@ class BoundedBellmanFord(CongestAlgorithm):
         self.radius = radius
 
     def setup(self, node: NodeView) -> Outbox:
-        node.state["bbf_round"] = 0
         if node.id in self.sources:
             node.state["bbf_dist"] = 0.0
             node.state["bbf_parent"] = None
@@ -48,9 +47,11 @@ class BoundedBellmanFord(CongestAlgorithm):
         return {}
 
     def step(self, node: NodeView, inbox: Inbox) -> Outbox:
-        if node.state["bbf_round"] >= self.hops:
+        # The hop budget is metered by the global round counter (activity
+        # contract: a sleeping node is not stepped, so a local invocation
+        # counter would undercount and accept relaxations past the budget).
+        if node.round > self.hops:
             return {}
-        node.state["bbf_round"] += 1
         improved = False
         for sender, est in sorted(inbox.items(), key=lambda kv: repr(kv[0])):
             candidate = est + node.edge_weight(sender)
@@ -58,7 +59,7 @@ class BoundedBellmanFord(CongestAlgorithm):
                 node.state["bbf_dist"] = candidate
                 node.state["bbf_parent"] = sender
                 improved = True
-        if improved and node.state["bbf_round"] < self.hops:
+        if improved and node.round < self.hops:
             return {nbr: node.state["bbf_dist"] for nbr in node.neighbors}
         return {}
 

@@ -131,6 +131,148 @@ class TestSyncNetwork:
         assert net.messages_sent >= 2  # at least the setup exchange
 
 
+class TestSparseEngine:
+    def test_stall_raises_contract_error(self):
+        """A node that is never done but requests no wake and gets no mail
+        can never make progress: the sparse engine fails fast instead of
+        spinning to max_rounds like the dense loop."""
+
+        class Sleeper(CongestAlgorithm):
+            def is_done(self, node):
+                return False
+
+        with pytest.raises(RuntimeError, match="activity contract"):
+            SyncNetwork(path_graph(3)).run(Sleeper())
+        # the dense engine reproduces the legacy spin-to-max_rounds
+        with pytest.raises(RuntimeError, match="did not terminate"):
+            SyncNetwork(path_graph(3), dense=True).run(Sleeper(), max_rounds=7)
+
+    def test_always_active_escape_hatch(self):
+        """A polling program (steps itself by the global round counter,
+        no mail) runs under always_active."""
+
+        class Poller(CongestAlgorithm):
+            always_active = True
+
+            def step(self, node, inbox):
+                node.state["last_round"] = node.round
+                return {}
+
+            def is_done(self, node):
+                return node.state.get("last_round", 0) >= 3
+
+        net = SyncNetwork(path_graph(3))
+        rounds = net.run(Poller())
+        assert rounds >= 3
+        for v in range(3):
+            assert net.view(v).state["last_round"] >= 3
+
+    def test_wake_request_drives_local_work(self):
+        """request_wake steps a node next round even without mail."""
+
+        class Countdown(CongestAlgorithm):
+            def setup(self, node):
+                node.state["n"] = 3
+                node.request_wake()
+                return {}
+
+            def step(self, node, inbox):
+                node.state["n"] -= 1
+                if node.state["n"] > 0:
+                    node.request_wake()
+                return {}
+
+            def is_done(self, node):
+                return node.state["n"] == 0
+
+        net = SyncNetwork(path_graph(2))
+        rounds = net.run(Countdown())
+        assert rounds >= 3
+        assert all(net.view(v).state["n"] == 0 for v in range(2))
+
+    def test_global_round_counter_visible_to_nodes(self):
+        class Recorder(CongestAlgorithm):
+            always_active = True
+
+            def step(self, node, inbox):
+                node.state.setdefault("rounds", []).append(node.round)
+                return {}
+
+            def is_done(self, node):
+                return len(node.state.get("rounds", [])) >= 4
+
+        net = SyncNetwork(path_graph(2))
+        net.run(Recorder())
+        assert net.view(0).state["rounds"] == [1, 2, 3, 4]
+
+    def test_active_node_rounds_utilization(self):
+        """The flood keeps only changed nodes busy: the sparse engine's
+        step count is strictly below the dense n x rounds product."""
+        g = cycle_graph(12)
+        sparse = SyncNetwork(g)
+        sparse.run(_Flood())
+        dense = SyncNetwork(g, dense=True)
+        dense.run(_Flood())
+        assert dense.active_node_rounds == g.n * (dense.rounds_executed - 1)
+        assert 0 < sparse.active_node_rounds < dense.active_node_rounds
+
+    def test_lifetime_counters_survive_reset(self):
+        g = cycle_graph(6)
+        net = SyncNetwork(g)
+        net.run(_Flood())
+        first = (net.total_rounds, net.total_messages_sent, net.total_words_sent)
+        assert first[0] == net.rounds_executed
+        net.reset()
+        assert net.rounds_executed == 0
+        assert (net.total_rounds, net.total_messages_sent, net.total_words_sent) == first
+        net.run(_Flood())
+        assert net.total_rounds == first[0] + net.rounds_executed
+        assert net.total_messages_sent == first[1] + net.messages_sent
+
+    def test_counters_untouched_on_bandwidth_violation(self):
+        """The whole outbox is validated before any message is counted, so
+        a violation never leaves messages_sent/words_sent half-advanced."""
+
+        class MixedOutbox(CongestAlgorithm):
+            def setup(self, node):
+                if node.id == 1:
+                    return {0: 1, 2: tuple(range(100))}
+                return {}
+
+        net = SyncNetwork(path_graph(3), words_per_message=4)
+        with pytest.raises(BandwidthViolation):
+            net.run(MixedOutbox())
+        assert net.messages_sent == 0
+        assert net.words_sent == 0
+
+    def test_counters_untouched_on_non_neighbor_send(self):
+        net = SyncNetwork(path_graph(4))
+        with pytest.raises(ValueError):
+            net.run(_NonNeighborSender(target=3))
+        assert net.messages_sent == 0
+        assert net.words_sent == 0
+
+
+class TestNodeView:
+    def test_neighbors_cached_tuple(self):
+        net = SyncNetwork(cycle_graph(5))
+        view = net.view(0)
+        first = view.neighbors
+        assert isinstance(first, tuple)
+        assert view.neighbors is first  # no per-access materialization
+        assert set(first) == {1, 4}
+
+    def test_payload_words_memoized(self):
+        from repro.congest.simulator import _WORDS_CACHE
+
+        payload = ("tag", 1, 2.5)
+        expected = payload_words(payload)
+        assert payload in _WORDS_CACHE
+        assert payload_words(payload) == expected == 3
+        # unhashable payloads still compute (uncached path)
+        assert payload_words([1, [2, 3]]) == 3
+
+
 class TestBFS:
     def test_bfs_depths_match_hop_distances(self):
         g = erdos_renyi_graph(30, 0.15, seed=2)

@@ -12,6 +12,7 @@ from repro.harness import (
     TIERS,
     all_profiles,
     compare_reports,
+    congest_profiles,
     get_profile,
     load_report,
     make_report,
@@ -107,6 +108,55 @@ class TestRunner:
         record = run_profile(get_profile("mst-ring-of-cliques"), "smoke")
         back = ProfileRecord.from_dict(record.to_dict())
         assert back == record
+
+    def test_congest_record_carries_network_traffic(self):
+        record = run_profile(get_profile("congest-broadcast"), "smoke")
+        assert record.messages and record.words and record.active_node_rounds
+        assert record.params["engine"] == "sparse"
+        back = ProfileRecord.from_dict(record.to_dict())
+        assert back == record
+
+    def test_non_congest_record_has_no_network_traffic(self):
+        record = run_profile(get_profile("slt-er"), "smoke")
+        assert record.messages is None
+        assert record.words is None
+        assert record.active_node_rounds is None
+        assert "engine" not in record.params
+
+    def test_engines_agree_on_traffic_not_utilization(self):
+        p = get_profile("congest-convergecast")
+        sparse = run_profile(p, "smoke", engine="sparse", measure_memory=False)
+        dense = run_profile(p, "smoke", engine="dense", measure_memory=False)
+        assert dense.params["engine"] == "dense"
+        assert (sparse.rounds, sparse.messages, sparse.words) == (
+            dense.rounds, dense.messages, dense.words)
+        assert sparse.active_node_rounds < dense.active_node_rounds
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            run_profile(get_profile("congest-bfs-grid"), "smoke", engine="warp")
+
+    def test_congest_builder_must_return_net_stats(self, monkeypatch):
+        """A congest build returning the 2-tuple shape silently loses the
+        traffic gate — it must be a hard error instead."""
+        from repro.harness import runner
+
+        def bad_build(graph, params, rng, network=None):
+            return None, 0
+
+        monkeypatch.setitem(
+            runner.ALGORITHMS, "congest-bfs",
+            (bad_build, runner.ALGORITHMS["congest-bfs"][1]),
+        )
+        with pytest.raises(TypeError, match="NetStats"):
+            run_profile(get_profile("congest-bfs-grid"), "smoke",
+                        measure_memory=False)
+
+    def test_congest_profiles_selection(self):
+        names = {p.name for p in congest_profiles()}
+        assert {"congest-bfs-grid", "congest-broadcast", "congest-convergecast",
+                "congest-interval-scan", "congest-cluster-round"} <= names
+        assert all(p.algorithm.startswith("congest-") for p in congest_profiles())
 
 
 class TestResults:
@@ -216,6 +266,39 @@ class TestResults:
         comparison = compare_reports(base, curr, tolerance=0.5)
         assert any(d.quantity == "rounds" for d in comparison.regressions)
 
+    def test_network_traffic_gates_like_rounds(self):
+        record = run_profile(get_profile("congest-broadcast"), "smoke",
+                             measure_memory=False)
+        base = self._report_with(record)
+        data = record.to_dict()
+        data["network"] = dict(data["network"], messages=record.messages * 2)
+        curr = {**base, "records": [data]}
+        comparison = compare_reports(base, curr, tolerance=0.5)
+        assert any(d.quantity == "messages" for d in comparison.regressions)
+
+    def test_sparse_vs_dense_baseline_shows_utilization_improvement(self):
+        p = get_profile("congest-broadcast")
+        dense = run_profile(p, "smoke", engine="dense", measure_memory=False)
+        sparse = run_profile(p, "smoke", engine="sparse", measure_memory=False)
+        comparison = compare_reports(
+            make_report([dense], suite="smoke"),
+            make_report([sparse], suite="smoke"),
+        )
+        assert comparison.ok  # rounds/messages/words identical
+        assert any(d.quantity == "active_node_rounds"
+                   for d in comparison.improvements)
+
+    def test_schema_v1_report_without_network_block_loads(self, tmp_path, records):
+        report = make_report(records, suite="smoke")
+        report["schema_version"] = 1
+        for rec in report["records"]:
+            rec.pop("network", None)
+        path = tmp_path / "v1.json"
+        write_report(report, path)
+        loaded = report_records(load_report(path))
+        assert loaded[0].messages is None
+        assert loaded[0].active_node_rounds is None
+
     def test_quality_flip_always_gates(self, records):
         base = self._report_with(records[0], ok=True)
         curr = self._report_with(records[0], ok=False)
@@ -269,6 +352,23 @@ class TestBenchCLI:
         assert rc == 0
         output = capsys.readouterr().out
         assert "deltas vs" in output and "PASS" in output
+
+    def test_congest_suite_runs_congest_profiles_at_smoke(self, tmp_path):
+        out = tmp_path / "BENCH_congest.json"
+        assert main(["bench", "--suite", "congest", "--no-memory",
+                     "--out", str(out)]) == 0
+        report = load_report(out)
+        assert report["suite"] == "congest"
+        recorded = {r["profile"] for r in report["records"]}
+        assert recorded == {p.name for p in congest_profiles()}
+        assert all(r["tier"] == "smoke" for r in report["records"])
+
+    def test_engine_flag_threads_to_records(self, tmp_path):
+        out = tmp_path / "BENCH_dense.json"
+        assert main(["bench", "--profile", "congest-bfs-grid", "--no-memory",
+                     "--engine", "dense", "--out", str(out)]) == 0
+        report = load_report(out)
+        assert report["records"][0]["params"]["engine"] == "dense"
 
     def test_unknown_profile_exits(self):
         with pytest.raises(SystemExit, match="unknown profile"):
