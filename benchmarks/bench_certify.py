@@ -1,0 +1,201 @@
+"""Certification-engine speedup evidence: legacy full-SSSP vs bounded engine.
+
+The PR-1 CSR work left ``max_edge_stretch`` on ER(2000, 0.01) at 15.3s —
+one full Dijkstra in H per vertex.  The bounded-radius batched engine
+(:mod:`repro.analysis.certify`) certifies the same instance with
+targeted, radius-truncated searches; this script measures both on the
+exact workload ``bench_csr.py`` used (same generator seed, same
+Baswana–Sen k=3 spanner) and writes the committed evidence files:
+
+* ``benchmarks/BENCH_certify_speedup.txt`` — the human-readable table;
+* ``benchmarks/BENCH_certify_speedup.json`` — the machine-readable
+  record CI's ``certify-smoke`` job gates on (structure + the >= 3x
+  acceptance bar).
+
+Run modes::
+
+    python benchmarks/bench_certify.py --run    # measure + rewrite both files
+    python benchmarks/bench_certify.py --check  # validate the committed JSON
+
+Not a pytest file on purpose: the legacy pass alone costs ~15s, which
+does not belong in the tier-1 suite, and --check must be runnable
+without pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+#: the acceptance bar: engine must beat the legacy certifier by this factor
+REQUIRED_SPEEDUP = 3.0
+#: the PR-1 measurement this PR's motivation quotes (same workload)
+PR1_BASELINE_SECONDS = 15.3
+
+HERE = Path(__file__).resolve().parent
+TXT_PATH = HERE / "BENCH_certify_speedup.txt"
+JSON_PATH = HERE / "BENCH_certify_speedup.json"
+
+REQUIRED_JSON_KEYS = {
+    "workload", "legacy_seconds", "engine_seconds", "speedup",
+    "bounded_seconds", "parallel_seconds", "sampled_seconds",
+    "max_stretch", "certification", "required_speedup",
+    "pr1_baseline_seconds",
+}
+
+
+def _legacy_max_edge_stretch(graph, spanner):
+    """The pre-engine certifier: one full SSSP in H per vertex."""
+    from repro.graphs.shortest_paths import dijkstra
+
+    inf = float("inf")
+    worst = 1.0
+    for u in graph.vertices():
+        incident = list(graph.neighbor_items(u))
+        if not incident:
+            continue
+        dist, _ = dijkstra(spanner, u)
+        for v, w in incident:
+            d = dist.get(v, inf)
+            if d == inf:
+                return inf
+            worst = max(worst, d / w)
+    return worst
+
+
+def _timed(fn, *args, **kwargs):
+    t0 = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - t0
+
+
+def run() -> int:
+    from repro.analysis.certify import certify_edge_stretch
+    from repro.graphs import erdos_renyi_graph
+    from repro.spanners.baswana_sen import baswana_sen_spanner
+
+    n, p, k = 2000, 0.01, 3
+    graph = erdos_renyi_graph(n, p, seed=21)
+    spanner = baswana_sen_spanner(graph, k, random.Random(5))
+    bound = 2 * k - 1
+    graph.freeze()
+    spanner.freeze()  # both certifiers ride the same cached CSR views
+
+    legacy_value, legacy_s = _timed(_legacy_max_edge_stretch, graph, spanner)
+    exact, exact_s = _timed(certify_edge_stretch, graph, spanner)
+    bounded, bounded_s = _timed(certify_edge_stretch, graph, spanner, bound=bound)
+    parallel, parallel_s = _timed(
+        certify_edge_stretch, graph, spanner, bound=bound, workers=2
+    )
+    sampled, sampled_s = _timed(
+        certify_edge_stretch, graph, spanner, sample=0.25, seed=11
+    )
+
+    for name, cert in (("exact", exact), ("bounded", bounded), ("parallel", parallel)):
+        if abs(cert.max_stretch - legacy_value) > 1e-9:
+            print(f"FATAL: {name} engine disagrees with the legacy certifier: "
+                  f"{cert.max_stretch!r} vs {legacy_value!r}")
+            return 1
+    if sampled.max_stretch > legacy_value + 1e-9:
+        print("FATAL: sampled mode exceeded the exact maximum")
+        return 1
+
+    speedup = legacy_s / exact_s
+    workload = f"max_edge_stretch, ER(n={n}, p={p}) m={graph.m}, Baswana-Sen k={k}"
+    lines = [
+        f"=== Certification engine speedup: {workload} ===",
+        "",
+        f"{'certifier':<38} {'seconds':>9} {'speedup':>9}  value",
+        "-" * 78,
+        f"{'legacy (full SSSP per vertex)':<38} {legacy_s:>9.3f} {'1.0x':>9}"
+        f"  {legacy_value:.6f}",
+        f"{'engine, exact':<38} {exact_s:>9.3f} {legacy_s / exact_s:>8.1f}x"
+        f"  {exact.max_stretch:.6f}",
+        f"{'engine, bounded (radius (2k-1)w)':<38} {bounded_s:>9.3f}"
+        f" {legacy_s / bounded_s:>8.1f}x  {bounded.max_stretch:.6f}",
+        f"{'engine, bounded + 2 workers':<38} {parallel_s:>9.3f}"
+        f" {legacy_s / parallel_s:>8.1f}x  {parallel.max_stretch:.6f}",
+        f"{'engine, sampled 25% of edges':<38} {sampled_s:>9.3f}"
+        f" {legacy_s / sampled_s:>8.1f}x  {sampled.max_stretch:.6f}"
+        f" (lower bound, {sampled.sampled_edges} edges)",
+        "",
+        f"edges pruned as already-in-spanner: {exact.edges_in_spanner}"
+        f"/{exact.edges_total}; sources short-circuited:"
+        f" {exact.sources_short_circuited}, explored: {exact.sources_explored}",
+        f"PR-1 quoted baseline for this workload: {PR1_BASELINE_SECONDS:.1f}s;"
+        f" acceptance bar: >= {REQUIRED_SPEEDUP:.0f}x over the measured legacy"
+        f" run (achieved {speedup:.1f}x)",
+    ]
+    TXT_PATH.write_text("\n".join(lines) + "\n")
+    print("\n".join(lines))
+
+    record = {
+        "workload": {"n": n, "p": p, "k": k, "m": graph.m,
+                     "graph_seed": 21, "spanner_seed": 5},
+        "legacy_seconds": round(legacy_s, 4),
+        "engine_seconds": round(exact_s, 4),
+        "bounded_seconds": round(bounded_s, 4),
+        "parallel_seconds": round(parallel_s, 4),
+        "sampled_seconds": round(sampled_s, 4),
+        "speedup": round(speedup, 2),
+        "max_stretch": legacy_value,
+        "certification": exact.to_dict(),
+        "required_speedup": REQUIRED_SPEEDUP,
+        "pr1_baseline_seconds": PR1_BASELINE_SECONDS,
+    }
+    JSON_PATH.write_text(json.dumps(record, indent=1, sort_keys=True) + "\n")
+    print(f"\nwrote {TXT_PATH.name} and {JSON_PATH.name}")
+    if speedup < REQUIRED_SPEEDUP:
+        print(f"FAIL: speedup {speedup:.2f}x below the "
+              f"{REQUIRED_SPEEDUP:.0f}x acceptance bar")
+        return 1
+    return 0
+
+
+def check() -> int:
+    """CI gate: the committed JSON must exist, parse, and clear the bar."""
+    if not JSON_PATH.exists():
+        print(f"FAIL: {JSON_PATH} is missing (run --run and commit it)")
+        return 1
+    record = json.loads(JSON_PATH.read_text())
+    missing = REQUIRED_JSON_KEYS - set(record)
+    if missing:
+        print(f"FAIL: {JSON_PATH.name} lacks keys: {sorted(missing)}")
+        return 1
+    # gate against the script's own constant, not the committed file's
+    # copy of it — a regressed re-run must not lower the bar it is
+    # measured against
+    if record["speedup"] < REQUIRED_SPEEDUP:
+        print(f"FAIL: committed speedup {record['speedup']}x is below the "
+              f"{REQUIRED_SPEEDUP}x bar")
+        return 1
+    if not TXT_PATH.exists():
+        print(f"FAIL: {TXT_PATH} is missing (run --run and commit it)")
+        return 1
+    cert = record["certification"]
+    if cert["mode"] != "exact" or cert["edges_total"] <= 0:
+        print("FAIL: committed certification block is not an exact-mode run")
+        return 1
+    print(f"OK: committed evidence shows {record['speedup']}x "
+          f"(bar {record['required_speedup']}x) on "
+          f"ER(n={record['workload']['n']}, p={record['workload']['p']})")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--run", action="store_true",
+                      help="measure and rewrite the committed evidence files")
+    mode.add_argument("--check", action="store_true",
+                      help="validate the committed evidence (the CI gate)")
+    args = parser.parse_args(argv)
+    return run() if args.run else check()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,7 @@ from repro.core import (
     estimate_mst_weight_via_nets,
 )
 from repro.analysis import (
+    certify_edge_stretch,
     lightness,
     max_edge_stretch,
     max_pairwise_stretch,
@@ -49,6 +50,7 @@ __all__ = [
     "greedy_net",
     "doubling_spanner",
     "estimate_mst_weight_via_nets",
+    "certify_edge_stretch",
     "lightness",
     "max_edge_stretch",
     "max_pairwise_stretch",

@@ -1,5 +1,6 @@
 """Measurement and verification of the paper's quality metrics."""
 
+from repro.analysis.certify import Certification, certify_edge_stretch
 from repro.analysis.stretch import (
     max_edge_stretch,
     max_pairwise_stretch,
@@ -23,6 +24,8 @@ from repro.analysis.validation import (
 )
 
 __all__ = [
+    "Certification",
+    "certify_edge_stretch",
     "max_edge_stretch",
     "max_pairwise_stretch",
     "root_stretch",

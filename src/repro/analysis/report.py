@@ -11,8 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
+from repro.analysis.certify import certify_edge_stretch
 from repro.analysis.lightness import lightness, sparsity
-from repro.analysis.stretch import max_edge_stretch, root_stretch
+from repro.analysis.stretch import root_stretch
 from repro.analysis.validation import ValidationError, verify_net, verify_subgraph
 from repro.graphs.shortest_paths import dijkstra
 from repro.graphs.weighted_graph import Vertex, WeightedGraph
@@ -43,10 +44,17 @@ class MetricRow:
 
 @dataclass
 class QualityReport:
-    """A titled collection of metric rows."""
+    """A titled collection of metric rows.
+
+    ``certification`` carries the stretch-certification accounting
+    (mode, sampled edges, worker count — see
+    :meth:`repro.analysis.certify.Certification.to_dict`) when the
+    report was produced by the bounded engine; ``None`` otherwise.
+    """
 
     title: str
     rows: List[MetricRow] = field(default_factory=list)
+    certification: Optional[Dict[str, object]] = None
 
     @property
     def ok(self) -> bool:
@@ -75,8 +83,18 @@ def spanner_report(
     size_bound: Optional[float] = None,
     rounds: Optional[int] = None,
     title: str = "spanner",
+    certify_workers: int = 1,
+    certify_sample: Optional[float] = None,
+    certify_seed: int = 0,
 ) -> QualityReport:
     """Report for a spanner: stretch, lightness, size (+ optional rounds).
+
+    Stretch is certified by the bounded-radius engine, truncating each
+    per-source search at ``stretch_bound · max_incident_w`` (exact value
+    either way).  ``certify_workers > 1`` fans sources across processes;
+    ``certify_sample=p`` certifies a seeded ``p``-fraction of the edges
+    (then the stretch row is a lower bound and the report's
+    ``certification`` block records ``mode="sampled"``).
 
     Raises
     ------
@@ -85,14 +103,18 @@ def spanner_report(
     """
     verify_subgraph(graph, spanner)
     mst = kruskal_mst(graph)
+    cert = certify_edge_stretch(
+        graph, spanner, bound=stretch_bound,
+        workers=certify_workers, sample=certify_sample, seed=certify_seed,
+    )
     rows = [
-        MetricRow("stretch", max_edge_stretch(graph, spanner), stretch_bound),
+        MetricRow("stretch", cert.max_stretch, stretch_bound),
         MetricRow("lightness", lightness(graph, spanner, mst), lightness_bound),
         MetricRow("edges", float(sparsity(spanner)), size_bound),
     ]
     if rounds is not None:
         rows.append(MetricRow("rounds", float(rounds)))
-    return QualityReport(title=title, rows=rows)
+    return QualityReport(title=title, rows=rows, certification=cert.to_dict())
 
 
 def slt_report(
@@ -116,7 +138,11 @@ def slt_report(
     verify_spanning_tree(graph, tree)
     mst = kruskal_mst(graph)
     rows = [
-        MetricRow("root-stretch", root_stretch(graph, tree, root), stretch_bound),
+        MetricRow(
+            "root-stretch",
+            root_stretch(graph, tree, root, bound=stretch_bound),
+            stretch_bound,
+        ),
         MetricRow("lightness", lightness(graph, tree, mst), lightness_bound),
     ]
     if rounds is not None:

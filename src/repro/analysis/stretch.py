@@ -6,39 +6,59 @@ d_H(u, v) <= (2k−1)(1+ε)·w(e)"), so :func:`max_edge_stretch` is the
 canonical certificate; :func:`max_pairwise_stretch` is the exhaustive
 (all-pairs) check for test-sized graphs, and :func:`root_stretch` is the
 SLT's single-source variant.
+
+Since the bounded-radius batched engine landed, :func:`max_edge_stretch`
+delegates to :mod:`repro.analysis.certify` — the same values up to float
+round-off, a fraction of the work (targeted, radius-truncated searches
+instead of one full SSSP per vertex), and optional process parallelism.
+
+Disconnection contract (pinned by the test-suite): all three maximum
+measures return ``inf`` as soon as any required distance is missing in
+the spanner/tree — an edge endpoint unreachable for
+:func:`max_edge_stretch`, any G-reachable pair for
+:func:`max_pairwise_stretch` and :func:`root_stretch`.
+:func:`average_stretch` likewise returns ``inf`` (the missing pair
+contributes an infinite term to the mean) rather than skipping the pair.
+Pairs that are disconnected in *G itself* are no constraint at all: every
+measure iterates G-reachable pairs only, so a spanner of a disconnected
+graph certifies finite as long as it preserves each component.
 """
 
 from __future__ import annotations
 
-from typing import Hashable
+from typing import Hashable, Optional
 
-from repro.graphs.shortest_paths import dijkstra
+from repro.analysis.certify import certify_edge_stretch
+from repro.graphs.shortest_paths import bounded_dijkstra, dijkstra
 from repro.graphs.weighted_graph import Vertex, WeightedGraph
 
 INF = float("inf")
 
 
-def max_edge_stretch(graph: WeightedGraph, spanner: WeightedGraph) -> float:
+def max_edge_stretch(
+    graph: WeightedGraph,
+    spanner: WeightedGraph,
+    bound: Optional[float] = None,
+    workers: int = 1,
+) -> float:
     """``max_{e={u,v} ∈ E(G)} d_H(u, v) / w(e)``.
 
     By the triangle inequality this upper-bounds the all-pairs stretch.
-    Computed by one Dijkstra in H per vertex (only vertices with incident
-    G-edges matter).
+    Runs on the bounded-radius batched certification engine
+    (:func:`repro.analysis.certify.certify_edge_stretch`): edges already
+    in H are skipped outright, and each remaining edge is settled by a
+    targeted search from one endpoint — that target-stop, not the bound,
+    is what keeps the exploration small.  The value is exact regardless
+    of ``bound``: passing the construction's stretch guarantee makes the
+    engine count crossings of the §5.1 radius ``bound · max_incident_w``
+    (each one a certified violation — the ``fail_fast`` early-reject
+    that :func:`~repro.analysis.validation.verify_spanner` uses) without
+    giving up the exact answer.  ``workers > 1`` fans the sources out
+    across processes.
     """
-    # dijkstra auto-freezes `spanner` on the first call and reuses the
-    # cached CSR view for all n runs
-    worst = 1.0
-    for u in graph.vertices():
-        incident = list(graph.neighbor_items(u))
-        if not incident:
-            continue
-        dist, _ = dijkstra(spanner, u)
-        for v, w in incident:
-            d = dist.get(v, INF)
-            if d == INF:
-                return INF
-            worst = max(worst, d / w)
-    return worst
+    return certify_edge_stretch(
+        graph, spanner, bound=bound, workers=workers
+    ).max_stretch
 
 
 def max_pairwise_stretch(graph: WeightedGraph, spanner: WeightedGraph) -> float:
@@ -58,7 +78,12 @@ def max_pairwise_stretch(graph: WeightedGraph, spanner: WeightedGraph) -> float:
 
 
 def average_stretch(graph: WeightedGraph, spanner: WeightedGraph) -> float:
-    """Mean pairwise stretch (reported alongside the max in benchmarks)."""
+    """Mean pairwise stretch (reported alongside the max in benchmarks).
+
+    Returns ``inf`` when the spanner disconnects any G-reachable pair
+    (the missing pair's infinite stretch dominates the mean), mirroring
+    the max measures' contract.
+    """
     total = 0.0
     count = 0
     for u in graph.vertices():
@@ -72,10 +97,29 @@ def average_stretch(graph: WeightedGraph, spanner: WeightedGraph) -> float:
     return total / count if count else 1.0
 
 
-def root_stretch(graph: WeightedGraph, tree: WeightedGraph, root: Vertex) -> float:
-    """``max_v d_T(rt, v) / d_G(rt, v)`` — the SLT's distortion (§4)."""
+def root_stretch(
+    graph: WeightedGraph,
+    tree: WeightedGraph,
+    root: Vertex,
+    bound: Optional[float] = None,
+) -> float:
+    """``max_v d_T(rt, v) / d_G(rt, v)`` — the SLT's distortion (§4).
+
+    With ``bound`` given, the tree exploration is truncated at radius
+    ``bound · ecc_G(root)`` — any vertex outside that ball already
+    violates the bound, and the exploration falls back to the full
+    search only in that (failing) case, so the returned value is exact
+    either way.
+    """
     dg, _ = dijkstra(graph, root)
-    dt, _ = dijkstra(tree, root)
+    if bound is not None:
+        finite = [d for d in dg.values() if d < INF]
+        radius = bound * max(finite, default=0.0)
+        dt, _ = bounded_dijkstra(tree, root, radius)
+        if any(v not in dt for v in dg):
+            dt, _ = dijkstra(tree, root)  # violation: recover the exact value
+    else:
+        dt, _ = dijkstra(tree, root)
     worst = 1.0
     for v, d in dg.items():
         if v == root or d == 0:

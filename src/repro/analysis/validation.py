@@ -8,12 +8,13 @@ fails loudly rather than skewing the measured numbers.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Optional
 
-from repro.analysis.stretch import max_edge_stretch, root_stretch
+from repro.analysis.certify import certify_edge_stretch
+from repro.analysis.lightness import lightness
+from repro.analysis.stretch import root_stretch
 from repro.graphs.shortest_paths import dijkstra
 from repro.graphs.weighted_graph import Vertex, WeightedGraph
-from repro.mst.kruskal import kruskal_mst
 
 
 class ValidationError(AssertionError):
@@ -45,15 +46,34 @@ def verify_spanning_tree(graph: WeightedGraph, tree: WeightedGraph) -> None:
         raise ValidationError(f"not a tree: n={tree.n}, m={tree.m}")
 
 
-def verify_spanner(graph: WeightedGraph, spanner: WeightedGraph, stretch: float) -> None:
-    """``spanner`` must be a subgraph with per-edge stretch <= ``stretch``."""
+def verify_spanner(
+    graph: WeightedGraph,
+    spanner: WeightedGraph,
+    stretch: float,
+    workers: int = 1,
+) -> None:
+    """``spanner`` must be a subgraph with per-edge stretch <= ``stretch``.
+
+    Runs the bounded-radius engine with the guarantee as the truncation
+    radius: on a valid spanner no search ever leaves the certified ball,
+    and an invalid one is rejected at the first radius crossing
+    (``fail_fast``) without paying for the exact worst value.
+    """
     verify_subgraph(graph, spanner)
     if set(spanner.vertices()) != set(graph.vertices()):
         raise ValidationError("spanner does not span all vertices")
-    measured = max_edge_stretch(graph, spanner)
-    if measured > stretch + 1e-9:
+    cert = certify_edge_stretch(
+        graph, spanner, bound=stretch, workers=workers, fail_fast=True
+    )
+    if cert.bound_exceeded:
         raise ValidationError(
-            f"stretch violated: measured {measured:.6f} > allowed {stretch:.6f}"
+            f"stretch violated: some edge has d_H(u, v) > "
+            f"{stretch:.6f} · w(e) (certified by radius truncation)"
+        )
+    if cert.max_stretch > stretch + 1e-9:
+        raise ValidationError(
+            f"stretch violated: measured {cert.max_stretch:.6f} "
+            f"> allowed {stretch:.6f}"
         )
 
 
@@ -63,19 +83,27 @@ def verify_slt(
     root: Vertex,
     alpha: float,
     beta: float,
+    mst: Optional[WeightedGraph] = None,
 ) -> None:
-    """``tree`` must be an (α, β)-SLT: root-stretch <= α, lightness <= β."""
+    """``tree`` must be an (α, β)-SLT: root-stretch <= α, lightness <= β.
+
+    Pass a precomputed ``mst`` to skip the Kruskal run the lightness
+    check needs (callers that already hold one — reports, the harness —
+    would otherwise recompute it on every verify).  Lightness is
+    measured through :func:`repro.analysis.lightness.lightness`, whose
+    zero-weight-MST handling turns the old ``ZeroDivisionError`` into a
+    proper :class:`ValidationError` when the tree carries weight anyway.
+    """
     verify_spanning_tree(graph, tree)
-    measured_stretch = root_stretch(graph, tree, root)
+    measured_stretch = root_stretch(graph, tree, root, bound=alpha)
     if measured_stretch > alpha + 1e-9:
         raise ValidationError(
             f"SLT root-stretch violated: {measured_stretch:.6f} > {alpha:.6f}"
         )
-    mst_weight = kruskal_mst(graph).total_weight()
-    if tree.total_weight() > beta * mst_weight + 1e-9:
+    measured_lightness = lightness(graph, tree, mst)
+    if measured_lightness > beta + 1e-9:
         raise ValidationError(
-            f"SLT lightness violated: {tree.total_weight() / mst_weight:.6f} "
-            f"> {beta:.6f}"
+            f"SLT lightness violated: {measured_lightness:.6f} > {beta:.6f}"
         )
 
 

@@ -185,6 +185,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     records = harness.run_suite(
         selected, tier=tier, measure_memory=not args.no_memory, progress=print,
         engine=args.engine,
+        certify_workers=args.certify_workers,
+        certify_sample=args.certify_sample,
     )
     violated = [r.profile for r in records if not r.ok]
     rc = 0
@@ -282,6 +284,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="CONGEST round engine for congest-* profiles: the "
              "sparse-activation engine (default) or the dense "
              "scan-everything compatibility loop",
+    )
+    p.add_argument(
+        "--certify-workers", type=int, default=1, metavar="N",
+        help="fan stretch certification out across N processes "
+             "(bounded-radius engine; default: 1, in-process)",
+    )
+    p.add_argument(
+        "--certify-sample", type=float, default=None, metavar="P",
+        help="certify only a seeded random P-fraction (0 < P <= 1) of the "
+             "edges — an estimate for graphs too big for exact "
+             "certification, recorded as certification.mode='sampled'",
     )
     p.add_argument("--out", help="write the JSON report here (e.g. BENCH_smoke.json)")
     p.add_argument("--compare", metavar="BASELINE",

@@ -21,6 +21,40 @@ INF = float("inf")
 GraphLike = Union[WeightedGraph, CSRGraph]
 
 
+def _normalize_sources(
+    graph: GraphLike, sources: Iterable[Vertex] | Vertex
+) -> List[Vertex]:
+    """Resolve the ``sources`` argument into a non-empty vertex list.
+
+    A single vertex becomes a one-element list.  Two historically silent
+    misuses are rejected loudly instead:
+
+    * an *empty* iterable (the traversal would return empty dicts that
+      look like "nothing is reachable");
+    * a string that is not itself a vertex (iterating it would treat
+      each character as a source).
+
+    Raises
+    ------
+    ValueError
+        On an empty source set or a non-vertex string/bytes source.
+    """
+    try:
+        if graph.has_vertex(sources):  # single-vertex call
+            return [sources]
+    except TypeError:
+        pass  # unhashable => definitely an iterable of sources
+    if isinstance(sources, (str, bytes)):
+        raise ValueError(
+            f"source {sources!r} is not a vertex (a non-vertex string would "
+            f"be iterated character by character)"
+        )
+    out = list(sources)
+    if not out:
+        raise ValueError("at least one source vertex is required")
+    return out
+
+
 def _csr_dijkstra(
     csr: CSRGraph, sources: Iterable[Vertex] | Vertex
 ) -> Tuple[Dict[Vertex, float], Dict[Vertex, Optional[Vertex]]]:
@@ -31,11 +65,7 @@ def _csr_dijkstra(
     hashing or tie-break counter is needed.  Results are converted back
     to label-keyed dicts to match the public contract.
     """
-    try:
-        if csr.has_vertex(sources):  # single-vertex call
-            sources = [sources]
-    except TypeError:
-        pass  # unhashable => definitely an iterable of sources
+    sources = _normalize_sources(csr, sources)
     n = csr.n
     indptr, indices, weights, verts = csr.indptr, csr.indices, csr.weights, csr.verts
     dist: List[float] = [INF] * n
@@ -86,7 +116,9 @@ def dijkstra(
         A single vertex or an iterable of source vertices (all at
         distance 0).
     weight_override:
-        Optional map from canonical edges to replacement weights.
+        Optional map from canonical edges to replacement weights.  A
+        falsy override (``None`` *or* an empty dict) overrides nothing,
+        so both take the indexed CSR fast path.
 
     Returns
     -------
@@ -94,8 +126,13 @@ def dijkstra(
         ``dist[v]`` is the distance from the nearest source (vertices
         unreachable from every source are absent); ``parent[v]`` is the
         predecessor on a shortest path (``None`` for sources).
+
+    Raises
+    ------
+    ValueError
+        On an empty source set or a non-vertex string source.
     """
-    if weight_override is None:
+    if not weight_override:
         # a full SSSP is Ω(m) anyway, so freezing (cached on the graph,
         # invalidated by mutation) costs at most one extra edge sweep and
         # every later call on the same graph rides the indexed fast path
@@ -116,11 +153,7 @@ def _dict_dijkstra(
     ``neighbor_items``.  Kept separate so benchmarks can compare it
     against the CSR fast path directly.
     """
-    try:
-        if graph.has_vertex(sources):  # single-vertex call
-            sources = [sources]
-    except TypeError:
-        pass  # unhashable => definitely an iterable of sources
+    sources = _normalize_sources(graph, sources)
     dist: Dict[Vertex, float] = {}
     parent: Dict[Vertex, Optional[Vertex]] = {}
     heap: List[Tuple[float, int, Vertex]] = []
@@ -169,47 +202,48 @@ def dijkstra_path(
 
 
 def bounded_dijkstra(
-    graph: GraphLike, source: Vertex, radius: float
+    graph: GraphLike, sources: Iterable[Vertex] | Vertex, radius: float
 ) -> Tuple[Dict[Vertex, float], Dict[Vertex, Optional[Vertex]]]:
-    """Dijkstra restricted to the ball ``B_G(source, radius)``.
+    """Dijkstra restricted to the ball ``B_G(sources, radius)``.
 
-    Only vertices at distance ``<= radius`` appear in the output.  This is
-    the sequential analogue of the Δ-bounded explorations of §7.
+    Only vertices at distance ``<= radius`` from the nearest source
+    appear in the output.  This is the sequential analogue of the
+    Δ-bounded explorations of §7; out-of-radius labels are never pushed,
+    so the heap holds the ball and nothing else.  (The bounded-radius
+    certification engine in :mod:`repro.analysis.certify` is the batched,
+    target-tracking sibling of this primitive.)
+
+    Like :func:`dijkstra`, ``sources`` may be a single vertex or an
+    iterable of vertices (all at distance 0).  A :class:`WeightedGraph`
+    input is frozen to its cached CSR view first — a bounded exploration
+    is exactly the repeated-call pattern the cache exists for.
+
+    Raises
+    ------
+    ValueError
+        On an empty source set or a non-vertex string source.
     """
-    if isinstance(graph, CSRGraph):
-        return _csr_bounded_dijkstra(graph, source, radius)
-    dist: Dict[Vertex, float] = {source: 0.0}
-    parent: Dict[Vertex, Optional[Vertex]] = {source: None}
-    heap: List[Tuple[float, int, Vertex]] = [(0.0, 0, source)]
-    counter = 1
-    settled = set()
-    while heap:
-        d, _, u = heapq.heappop(heap)
-        if u in settled:
-            continue
-        settled.add(u)
-        for v, w in graph.neighbor_items(u):
-            nd = d + w
-            if nd <= radius and nd < dist.get(v, INF):
-                dist[v] = nd
-                parent[v] = u
-                heapq.heappush(heap, (nd, counter, v))
-                counter += 1
-    return dist, parent
+    if isinstance(graph, WeightedGraph):
+        graph = graph.freeze()
+    return _csr_bounded_dijkstra(graph, sources, radius)
 
 
 def _csr_bounded_dijkstra(
-    csr: CSRGraph, source: Vertex, radius: float
+    csr: CSRGraph, sources: Iterable[Vertex] | Vertex, radius: float
 ) -> Tuple[Dict[Vertex, float], Dict[Vertex, Optional[Vertex]]]:
-    """Indexed variant of :func:`bounded_dijkstra` over a CSR graph."""
+    """Indexed multi-source variant of :func:`bounded_dijkstra`."""
+    sources = _normalize_sources(csr, sources)
     n = csr.n
     indptr, indices, weights, verts = csr.indptr, csr.indices, csr.weights, csr.verts
-    src = csr.index_of(source)
     dist: List[float] = [INF] * n
     parent: List[int] = [-2] * n
-    dist[src] = 0.0
-    parent[src] = -1
-    heap: List[Tuple[float, int]] = [(0.0, src)]
+    heap: List[Tuple[float, int]] = []
+    for s in sources:
+        i = csr.index_of(s)
+        dist[i] = 0.0
+        parent[i] = -1
+        heap.append((0.0, i))
+    heapq.heapify(heap)
     push, pop = heapq.heappush, heapq.heappop
     while heap:
         d, u = pop(heap)

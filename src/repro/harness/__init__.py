@@ -27,6 +27,7 @@ from repro.harness.runner import (
     ALGORITHMS,
     CONGEST_ALGORITHMS,
     ENGINES,
+    SPANNER_CERTIFIED_ALGORITHMS,
     NetStats,
     ProfileRecord,
     run_profile,
@@ -57,6 +58,7 @@ __all__ = [
     "ALGORITHMS",
     "CONGEST_ALGORITHMS",
     "ENGINES",
+    "SPANNER_CERTIFIED_ALGORITHMS",
     "NetStats",
     "ProfileRecord",
     "run_profile",

@@ -38,8 +38,10 @@ PathLike = Union[str, "Path"]  # noqa: F821 - keep the io.py convention
 
 SCHEMA_NAME = "repro.harness.bench"
 #: version 2 added the per-record ``network`` block (messages / words /
-#: active_node_rounds); version-1 reports still load, with those absent.
-SCHEMA_VERSION = 2
+#: active_node_rounds); version 3 the ``certification`` block (mode /
+#: sampled_edges / workers / pruning counters of the bounded-radius
+#: stretch engine).  Older reports still load, with those blocks absent.
+SCHEMA_VERSION = 3
 
 #: seconds below which timing deltas are considered pure jitter
 TIME_FLOOR_SECONDS = 0.05

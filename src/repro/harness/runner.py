@@ -78,9 +78,18 @@ def _build_light_spanner(graph, params, rng):
     return res, res.rounds
 
 
+def _spanner_cert_kwargs(params):
+    """Certification-engine knobs run_profile injects into ``params``."""
+    return {
+        "certify_workers": params.get("certify_workers", 1),
+        "certify_sample": params.get("certify_sample"),
+    }
+
+
 def _certify_light_spanner(graph, res, params):
     return spanner_report(
-        graph, res.spanner, stretch_bound=res.stretch_bound, rounds=res.rounds
+        graph, res.spanner, stretch_bound=res.stretch_bound, rounds=res.rounds,
+        **_spanner_cert_kwargs(params),
     )
 
 
@@ -103,7 +112,8 @@ def _build_doubling(graph, params, rng):
 def _certify_doubling(graph, res, params):
     # per-edge stretch is bounded by the pairwise guarantee 1 + 30ε
     return spanner_report(
-        graph, res.spanner, stretch_bound=res.stretch_bound, rounds=res.rounds
+        graph, res.spanner, stretch_bound=res.stretch_bound, rounds=res.rounds,
+        **_spanner_cert_kwargs(params),
     )
 
 
@@ -135,7 +145,10 @@ def _build_baswana_sen(graph, params, rng):
 def _certify_baswana_sen(graph, artifact, params):
     spanner, ledger = artifact
     bound = 2 * params["k"] - 1
-    return spanner_report(graph, spanner, stretch_bound=bound, rounds=ledger.total)
+    return spanner_report(
+        graph, spanner, stretch_bound=bound, rounds=ledger.total,
+        **_spanner_cert_kwargs(params),
+    )
 
 
 def _build_elkin_neiman(graph, params, rng):
@@ -151,7 +164,10 @@ def _build_elkin_neiman(graph, params, rng):
 def _certify_elkin_neiman(graph, artifact, params):
     run, spanner = artifact
     bound = 2 * params["k"] - 1
-    return spanner_report(graph, spanner, stretch_bound=bound, rounds=run.rounds)
+    return spanner_report(
+        graph, spanner, stretch_bound=bound, rounds=run.rounds,
+        **_spanner_cert_kwargs(params),
+    )
 
 
 def _build_greedy_spanner(graph, params, rng):
@@ -159,7 +175,10 @@ def _build_greedy_spanner(graph, params, rng):
 
 
 def _certify_greedy_spanner(graph, spanner, params):
-    return spanner_report(graph, spanner, stretch_bound=2 * params["k"] - 1)
+    return spanner_report(
+        graph, spanner, stretch_bound=2 * params["k"] - 1,
+        **_spanner_cert_kwargs(params),
+    )
 
 
 def _build_mst(graph, params, rng):
@@ -382,6 +401,13 @@ CONGEST_ALGORITHMS = frozenset(
     name for name in ALGORITHMS if name.startswith("congest-")
 )
 
+#: algorithms whose certification runs the bounded-radius stretch engine
+#: and therefore honours ``certify_workers`` / ``certify_sample``.
+SPANNER_CERTIFIED_ALGORITHMS = frozenset(
+    {"light-spanner", "doubling-spanner", "baswana-sen",
+     "elkin-neiman", "greedy-spanner"}
+)
+
 
 @dataclass
 class ProfileRecord:
@@ -408,6 +434,9 @@ class ProfileRecord:
     messages: Optional[int] = None
     words: Optional[int] = None
     active_node_rounds: Optional[int] = None
+    # stretch-certification accounting (mode / sampled_edges / workers...;
+    # spanner-certified profiles only, None elsewhere and in schema <= 2)
+    certification: Optional[Dict[str, object]] = None
 
     def to_dict(self) -> Dict[str, object]:
         """Plain-JSON form (inverse of :meth:`from_dict`)."""
@@ -432,16 +461,19 @@ class ProfileRecord:
                 "words": self.words,
                 "active_node_rounds": self.active_node_rounds,
             },
+            "certification": dict(self.certification)
+            if self.certification is not None else None,
             "metrics": {k: dict(v) for k, v in self.metrics.items()},
             "ok": self.ok,
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ProfileRecord":
-        """Rebuild a record from its JSON form (schema versions 1 and 2)."""
+        """Rebuild a record from its JSON form (schema versions 1 to 3)."""
         timings = data["timings"]
         graph = data["graph"]
         network = data.get("network") or {}
+        certification = data.get("certification")
         return cls(
             profile=data["profile"],
             tier=data["tier"],
@@ -462,6 +494,8 @@ class ProfileRecord:
             messages=network.get("messages"),
             words=network.get("words"),
             active_node_rounds=network.get("active_node_rounds"),
+            certification=dict(certification)
+            if certification is not None else None,
         )
 
 
@@ -478,6 +512,8 @@ def run_profile(
     certify: bool = True,
     measure_memory: bool = True,
     engine: str = "sparse",
+    certify_workers: int = 1,
+    certify_sample: Optional[float] = None,
 ) -> ProfileRecord:
     """Execute ``profile`` at ``tier`` and return its record.
 
@@ -495,19 +531,39 @@ def run_profile(
     produce identical rounds/messages/words (the parity suite's claim) —
     only wall-clock and ``active_node_rounds`` differ.
 
+    ``certify_workers`` / ``certify_sample`` tune the bounded-radius
+    stretch-certification engine for spanner-certified profiles (process
+    fan-out and seeded edge sampling respectively; see
+    :func:`repro.analysis.certify.certify_edge_stretch`); other profiles
+    ignore them.  The record's ``certification`` block reports what the
+    engine actually did.  Certification of a profile whose
+    ``certifiable`` flag is False is skipped at the stress tier (the
+    opt-out for workloads the bounded engine cannot make tractable).
+
     Raises
     ------
     KeyError
         On an unknown tier or algorithm.
     ValueError
-        On an unknown engine name.
+        On an unknown engine name, non-positive ``certify_workers`` or
+        out-of-range ``certify_sample``.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
+    if certify_workers < 1:
+        raise ValueError(f"certify_workers must be >= 1, got {certify_workers}")
+    if certify_sample is not None and not (0.0 < certify_sample <= 1.0):
+        raise ValueError(f"certify_sample must be in (0, 1], got {certify_sample}")
     build, certify_fn = ALGORITHMS[profile.algorithm]
     params = profile.algo_params(tier)
     if profile.algorithm in CONGEST_ALGORITHMS:
         params["engine"] = engine
+    if profile.algorithm in SPANNER_CERTIFIED_ALGORITHMS:
+        params["certify_workers"] = certify_workers
+        if certify_sample is not None:
+            params["certify_sample"] = certify_sample
+    if tier == "stress" and not profile.certifiable:
+        certify = False
 
     t0 = time.perf_counter()
     graph = profile.build_graph(tier)
@@ -540,12 +596,14 @@ def run_profile(
     metrics: Dict[str, Dict[str, object]] = {}
     ok = True
     certification_seconds = 0.0
+    certification: Optional[Dict[str, object]] = None
     if certify:
         t0 = time.perf_counter()
         report = certify_fn(graph, artifact, params)
         certification_seconds = time.perf_counter() - t0
         metrics = _report_metrics(report)
         ok = report.ok
+        certification = getattr(report, "certification", None)
 
     return ProfileRecord(
         profile=profile.name,
@@ -567,6 +625,7 @@ def run_profile(
         messages=stats.messages if stats is not None else None,
         words=stats.words if stats is not None else None,
         active_node_rounds=stats.active_node_rounds if stats is not None else None,
+        certification=certification,
     )
 
 
@@ -577,13 +636,17 @@ def run_suite(
     measure_memory: bool = True,
     progress: Optional[Callable[[str], None]] = None,
     engine: str = "sparse",
+    certify_workers: int = 1,
+    certify_sample: Optional[float] = None,
 ) -> List[ProfileRecord]:
     """Run ``profiles`` (default: all registered) at ``tier`` in name order."""
     selected = profiles if profiles is not None else all_profiles()
     records: List[ProfileRecord] = []
     for i, profile in enumerate(selected, start=1):
         record = run_profile(profile, tier, certify=certify,
-                             measure_memory=measure_memory, engine=engine)
+                             measure_memory=measure_memory, engine=engine,
+                             certify_workers=certify_workers,
+                             certify_sample=certify_sample)
         records.append(record)
         if progress is not None:
             status = "ok" if record.ok else "VIOLATED"

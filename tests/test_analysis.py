@@ -46,9 +46,13 @@ class TestStretchMeasures:
         assert average_stretch(small_er, h) <= max_pairwise_stretch(small_er, h) + 1e-9
 
     def test_disconnected_spanner_infinite(self, square):
+        # the pinned contract (see repro.analysis.stretch): all three
+        # measures return inf when the spanner disconnects a G-reachable
+        # pair — average_stretch included, not silently skipping the pair
         h = WeightedGraph(square.vertices())
         assert max_edge_stretch(square, h) == float("inf")
         assert max_pairwise_stretch(square, h) == float("inf")
+        assert average_stretch(square, h) == float("inf")
 
     def test_root_stretch(self):
         g = path_graph(3, [1.0, 1.0])

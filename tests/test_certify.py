@@ -1,0 +1,356 @@
+"""Differential and regression suite for the bounded-radius certification
+engine (repro.analysis.certify) and the certifier bugfix sweep.
+
+The anchor is ``_legacy_max_edge_stretch`` — a verbatim copy of the
+pre-engine certifier (one full SSSP in H per vertex).  Every exact engine
+mode (plain, bounded, process-parallel) must agree with it to 1e-9 on
+every smoke-tier spanner profile; sampling must lower-bound it.  CI's
+``certify-smoke`` job runs exactly this file.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.analysis import (
+    average_stretch,
+    certify_edge_stretch,
+    max_edge_stretch,
+    max_pairwise_stretch,
+    root_stretch,
+    verify_slt,
+    verify_spanner,
+)
+from repro.analysis.validation import ValidationError
+from repro.graphs import (
+    WeightedGraph,
+    bounded_dijkstra,
+    dijkstra,
+    erdos_renyi_graph,
+    path_graph,
+)
+from repro.harness import TIERS, get_profile, run_profile
+from repro.harness.profiles import Profile
+from repro.harness.runner import ALGORITHMS, SPANNER_CERTIFIED_ALGORITHMS
+from repro.mst import kruskal_mst
+
+INF = float("inf")
+
+
+def _legacy_max_edge_stretch(graph, spanner):
+    """The pre-engine certifier, kept verbatim as the differential anchor."""
+    worst = 1.0
+    for u in graph.vertices():
+        incident = list(graph.neighbor_items(u))
+        if not incident:
+            continue
+        dist, _ = dijkstra(spanner, u)
+        for v, w in incident:
+            d = dist.get(v, INF)
+            if d == INF:
+                return INF
+            worst = max(worst, d / w)
+    return worst
+
+
+#: smoke-tier profiles whose certification runs the stretch engine, with
+#: an extractor from the build artifact to (spanner, stretch bound)
+SPANNER_PROFILES = {
+    "spanner-er": lambda res, params: (res.spanner, res.stretch_bound),
+    "spanner-geometric": lambda res, params: (res.spanner, res.stretch_bound),
+    "spanner-power-law": lambda res, params: (res.spanner, res.stretch_bound),
+    "doubling-geometric": lambda res, params: (res.spanner, res.stretch_bound),
+    "doubling-grid": lambda res, params: (res.spanner, res.stretch_bound),
+    "baswana-sen-er": lambda art, params: (art[0], 2 * params["k"] - 1),
+    "elkin-neiman-hypercube": lambda art, params: (art[1], 2 * params["k"] - 1),
+    "greedy-spanner-er": lambda art, params: (art, 2 * params["k"] - 1),
+}
+
+
+def _smoke_spanner(profile_name):
+    """Build the profile's smoke workload and its spanner artifact."""
+    profile = get_profile(profile_name)
+    build, _ = ALGORITHMS[profile.algorithm]
+    params = profile.algo_params("smoke")
+    graph = profile.build_graph("smoke")
+    built = build(graph, params, random.Random(profile.seed))
+    spanner, bound = SPANNER_PROFILES[profile_name](built[0], params)
+    return graph, spanner, float(bound)
+
+
+class TestDifferentialSmokeSuite:
+    """Exact vs bounded vs parallel vs legacy, per smoke-tier profile."""
+
+    def test_extractors_cover_every_spanner_algorithm(self):
+        covered = {get_profile(n).algorithm for n in SPANNER_PROFILES}
+        assert covered == set(SPANNER_CERTIFIED_ALGORITHMS)
+
+    @pytest.mark.parametrize("name", sorted(SPANNER_PROFILES))
+    def test_exact_modes_agree_with_legacy(self, name):
+        graph, spanner, bound = _smoke_spanner(name)
+        reference = _legacy_max_edge_stretch(graph, spanner)
+        exact = certify_edge_stretch(graph, spanner)
+        bounded = certify_edge_stretch(graph, spanner, bound=bound)
+        parallel = certify_edge_stretch(graph, spanner, bound=bound, workers=2)
+        assert exact.max_stretch == pytest.approx(reference, abs=1e-9)
+        assert bounded.max_stretch == pytest.approx(reference, abs=1e-9)
+        assert parallel.max_stretch == pytest.approx(reference, abs=1e-9)
+        assert exact.mode == "exact"
+        assert bounded.mode == "bounded"
+        assert parallel.workers == 2
+
+    @pytest.mark.parametrize("name", sorted(SPANNER_PROFILES))
+    def test_sampled_mode_lower_bounds_exact(self, name):
+        graph, spanner, _ = _smoke_spanner(name)
+        reference = _legacy_max_edge_stretch(graph, spanner)
+        full = certify_edge_stretch(graph, spanner, sample=1.0, seed=3)
+        half = certify_edge_stretch(graph, spanner, sample=0.5, seed=3)
+        assert full.max_stretch == pytest.approx(reference, abs=1e-9)
+        assert full.mode == "sampled" and full.sampled_edges == full.edges_checked
+        assert half.max_stretch <= reference + 1e-9
+        assert half.sampled_edges <= full.sampled_edges
+
+    @pytest.mark.parametrize("name", sorted(SPANNER_PROFILES))
+    def test_accounting_is_consistent(self, name):
+        graph, spanner, bound = _smoke_spanner(name)
+        cert = certify_edge_stretch(graph, spanner, bound=bound)
+        assert cert.edges_total == graph.m
+        assert cert.edges_in_spanner + cert.edges_checked <= cert.edges_total
+        assert cert.ok is (cert.max_stretch <= bound + 1e-9)
+        as_json = json.dumps(cert.to_dict())
+        assert json.loads(as_json)["mode"] == "bounded"
+
+
+class TestEngineEdgeCases:
+    def test_pool_path_agrees_on_adversarial_spanner(self):
+        # the MST maximises the per-source work list, forcing the real
+        # multiprocessing pool (small work lists fall back to in-process)
+        g = erdos_renyi_graph(120, 0.1, seed=4)
+        mst = kruskal_mst(g)
+        reference = _legacy_max_edge_stretch(g, mst)
+        par = certify_edge_stretch(g, mst, bound=2.0, workers=2)
+        assert par.max_stretch == pytest.approx(reference, abs=1e-9)
+        assert par.fallbacks > 0  # the radius truncation fired and was lifted
+
+    def test_fail_fast_detects_violation_without_exact_value(self):
+        g = erdos_renyi_graph(60, 0.2, seed=1)
+        mst = kruskal_mst(g)
+        exact = certify_edge_stretch(g, mst).max_stretch
+        assert exact > 1.5
+        cert = certify_edge_stretch(g, mst, bound=1.5, fail_fast=True)
+        assert cert.bound_exceeded and not cert.ok
+        assert cert.max_stretch == INF
+
+    def test_fail_fast_passes_valid_spanner(self):
+        g = erdos_renyi_graph(60, 0.2, seed=1)
+        cert = certify_edge_stretch(g, g, bound=1.0, fail_fast=True)
+        assert cert.ok and not cert.bound_exceeded
+        assert cert.max_stretch == 1.0
+        assert cert.edges_in_spanner == g.m  # everything short-circuits
+
+    def test_identity_spanner_short_circuits_every_source(self):
+        g = erdos_renyi_graph(40, 0.2, seed=9)
+        cert = certify_edge_stretch(g, g)
+        assert cert.max_stretch == 1.0
+        assert cert.sources_explored == 0
+        assert cert.edges_checked == 0
+
+    def test_spanner_missing_vertices_is_infinite(self):
+        g = path_graph(4)
+        h = WeightedGraph([0, 1])  # vertices 2, 3 missing entirely
+        h.add_edge(0, 1, 1.0)
+        assert certify_edge_stretch(g, h).max_stretch == INF
+        assert _legacy_max_edge_stretch(g, h) == INF
+
+    def test_parameter_validation(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError, match="workers"):
+            certify_edge_stretch(g, g, workers=0)
+        with pytest.raises(ValueError, match="sample"):
+            certify_edge_stretch(g, g, sample=0.0)
+        with pytest.raises(ValueError, match="sample"):
+            certify_edge_stretch(g, g, sample=1.5)
+        with pytest.raises(ValueError, match="fail_fast"):
+            certify_edge_stretch(g, g, fail_fast=True)
+
+    def test_sampling_is_seed_deterministic(self):
+        g = erdos_renyi_graph(80, 0.15, seed=2)
+        mst = kruskal_mst(g)
+        a = certify_edge_stretch(g, mst, sample=0.3, seed=5)
+        b = certify_edge_stretch(g, mst, sample=0.3, seed=5)
+        c = certify_edge_stretch(g, mst, sample=0.3, seed=6)
+        assert a.max_stretch == b.max_stretch
+        assert a.sampled_edges == b.sampled_edges
+        assert (c.sampled_edges, c.max_stretch) != (a.sampled_edges, a.max_stretch)
+
+
+class TestDisconnectedContract:
+    """All isolated-component behaviours pinned in one place."""
+
+    @staticmethod
+    def _two_triangles():
+        g = WeightedGraph(range(6))
+        for a, b in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]:
+            g.add_edge(a, b, 1.0 if a < 3 else 2.0)
+        return g
+
+    def test_component_preserving_spanner_is_finite(self):
+        g = self._two_triangles()
+        g.add_vertex(6)  # isolated vertex: no constraint at all
+        h = g.copy()
+        h.remove_edge(0, 2)  # detour 0-1-2 exists inside the component
+        assert max_edge_stretch(g, h) == pytest.approx(2.0)
+        assert certify_edge_stretch(g, h, bound=3.0).max_stretch == pytest.approx(2.0)
+        assert max_pairwise_stretch(g, h) == pytest.approx(2.0)
+        assert average_stretch(g, h) < INF
+
+    def test_component_breaking_spanner_is_infinite_for_all_three(self):
+        g = self._two_triangles()
+        h = g.copy()
+        h.remove_edge(3, 4)
+        h.remove_edge(3, 5)  # vertex 3 cut off from its own component
+        assert max_edge_stretch(g, h) == INF
+        assert max_pairwise_stretch(g, h) == INF
+        assert average_stretch(g, h) == INF
+        for kwargs in ({}, {"bound": 9.0}, {"bound": 9.0, "workers": 2},
+                       {"sample": 1.0}):
+            assert certify_edge_stretch(g, h, **kwargs).max_stretch == INF
+
+    def test_root_stretch_infinite_when_tree_misses_component(self):
+        g = path_graph(3)
+        t = WeightedGraph(range(3))
+        t.add_edge(0, 1, 1.0)
+        assert root_stretch(g, t, 0) == INF
+        assert root_stretch(g, t, 0, bound=10.0) == INF
+
+
+class TestRootStretchBounded:
+    def test_bounded_matches_unbounded(self):
+        g = erdos_renyi_graph(50, 0.2, seed=8)
+        mst = kruskal_mst(g)
+        expected = root_stretch(g, mst, 0)
+        assert root_stretch(g, mst, 0, bound=expected + 1.0) == pytest.approx(expected)
+        # a violated bound falls back to the full search: still exact
+        assert root_stretch(g, mst, 0, bound=1.0) == pytest.approx(expected)
+
+
+class TestVerifierFixes:
+    def test_verify_spanner_bounded_rejection_and_pass(self):
+        g = erdos_renyi_graph(40, 0.3, seed=12)
+        mst = kruskal_mst(g)
+        exact = max_edge_stretch(g, mst)
+        with pytest.raises(ValidationError, match="stretch violated"):
+            verify_spanner(g, mst, exact / 2.0)
+        verify_spanner(g, mst, exact)  # exactly the measured value passes
+        verify_spanner(g, mst, exact, workers=2)
+
+    def test_verify_slt_zero_weight_mst_no_zero_division(self):
+        # a single-vertex graph has a zero-weight MST; the old code divided
+        # by it and raised ZeroDivisionError instead of validating
+        g = WeightedGraph([0])
+        t = WeightedGraph([0])
+        verify_slt(g, t, 0, alpha=2.0, beta=5.0)  # lightness 0/0 -> 1.0
+
+    def test_verify_slt_accepts_precomputed_mst(self):
+        g = WeightedGraph()
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, 1.0)
+        g.add_edge(0, 2, 5.0)
+        mst = kruskal_mst(g)  # the two unit edges, weight 2
+        verify_slt(g, mst, 0, alpha=1e9, beta=1.0, mst=mst)
+        heavy = g.edge_subgraph([(0, 1), (0, 2)])  # weight 6, lightness 3
+        with pytest.raises(ValidationError, match="lightness"):
+            verify_slt(g, heavy, 0, alpha=1e9, beta=1.0, mst=mst)
+
+
+class TestDijkstraRegressions:
+    def test_empty_weight_override_takes_csr_fast_path(self):
+        g = path_graph(5, [1.0, 2.0, 3.0, 4.0])
+        with_none, _ = dijkstra(g, 0, weight_override=None)
+        with_empty, _ = dijkstra(g, 0, weight_override={})
+        assert with_none == with_empty
+        assert g._csr_cache is not None  # the empty dict froze the graph too
+
+    def test_empty_sources_raise(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError, match="at least one source"):
+            dijkstra(g, [])
+        with pytest.raises(ValueError, match="at least one source"):
+            dijkstra(g.freeze(), iter(()))
+        with pytest.raises(ValueError, match="at least one source"):
+            dijkstra(g, [], weight_override={(0, 1): 5.0})
+        with pytest.raises(ValueError, match="at least one source"):
+            bounded_dijkstra(g, [], 2.0)
+
+    def test_non_vertex_string_source_raises(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError, match="not a vertex"):
+            dijkstra(g, "abc")
+        with pytest.raises(ValueError, match="not a vertex"):
+            bounded_dijkstra(g, "abc", 2.0)
+
+    def test_string_vertices_still_work(self):
+        g = WeightedGraph()
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("b", "c", 2.0)
+        dist, _ = dijkstra(g, "a")
+        assert dist == {"a": 0.0, "b": 1.0, "c": 3.0}
+        dist, _ = dijkstra(g, ["a", "c"])  # iterables of strings stay legal
+        assert dist["b"] == 1.0
+
+    def test_bounded_dijkstra_multi_source(self):
+        g = path_graph(9)
+        dist, _ = bounded_dijkstra(g, [0, 8], 2.0)
+        assert set(dist) == {0, 1, 2, 6, 7, 8}
+        assert dist[2] == 2.0 and dist[6] == 2.0
+
+
+class TestHarnessCertification:
+    def test_record_carries_certification_block(self):
+        record = run_profile(get_profile("spanner-er"), "smoke",
+                             measure_memory=False)
+        assert record.certification is not None
+        assert record.certification["mode"] == "bounded"
+        assert record.certification["workers"] == 1
+        round_trip = type(record).from_dict(record.to_dict())
+        assert round_trip.certification == record.certification
+
+    def test_sampled_run_records_sampled_edges(self):
+        record = run_profile(get_profile("baswana-sen-er"), "smoke",
+                             measure_memory=False, certify_sample=0.5)
+        assert record.certification["mode"] == "sampled"
+        assert record.certification["sampled_edges"] is not None
+        assert record.params["certify_sample"] == 0.5
+
+    def test_congest_profiles_have_no_certification_block(self):
+        record = run_profile(get_profile("congest-bfs-grid"), "smoke",
+                             measure_memory=False)
+        assert record.certification is None
+        assert "certify_workers" not in record.params
+
+    def test_schema_v2_record_loads_without_certification(self):
+        record = run_profile(get_profile("spanner-er"), "smoke",
+                             measure_memory=False)
+        data = record.to_dict()
+        del data["certification"]  # a schema-v2 document lacks the block
+        assert type(record).from_dict(data).certification is None
+
+    def test_run_profile_validates_certify_params(self):
+        profile = get_profile("spanner-er")
+        with pytest.raises(ValueError, match="certify_workers"):
+            run_profile(profile, "smoke", certify_workers=0)
+        with pytest.raises(ValueError, match="certify_sample"):
+            run_profile(profile, "smoke", certify_sample=2.0)
+
+    def test_uncertifiable_profile_skips_stress_certification_only(self):
+        tiny = {t: {"n": 10, "p": 0.4} for t in TIERS}
+        profile = Profile(
+            name="test-uncertifiable", description="", section="test",
+            family="er", algorithm="greedy-spanner", params={"k": 2},
+            tiers=tiny, certifiable=False,
+        )
+        stress = run_profile(profile, "stress", measure_memory=False)
+        assert stress.metrics == {} and stress.certification is None
+        smoke = run_profile(profile, "smoke", measure_memory=False)
+        assert smoke.metrics != {} and smoke.certification is not None

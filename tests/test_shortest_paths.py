@@ -81,6 +81,25 @@ class TestBoundedDijkstra:
             if d <= 50.0:
                 assert v in bounded
 
+    def test_multi_source(self):
+        g = path_graph(9)
+        dist, parent = bounded_dijkstra(g, [0, 8], 2.0)
+        assert set(dist) == {0, 1, 2, 6, 7, 8}
+        assert parent[0] is None and parent[8] is None
+        assert dist[7] == 1.0
+
+    def test_multi_source_matches_unbounded(self, small_er):
+        full, _ = dijkstra(small_er, [0, 5])
+        bounded, _ = bounded_dijkstra(small_er, [0, 5], 40.0)
+        assert bounded == {v: d for v, d in full.items() if d <= 40.0}
+
+    def test_rejects_empty_and_string_sources(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            bounded_dijkstra(g, [], 1.0)
+        with pytest.raises(ValueError):
+            bounded_dijkstra(g, "nope", 1.0)
+
 
 class TestHopMetrics:
     def test_hop_distances_ignore_weights(self):
