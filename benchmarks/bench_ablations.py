@@ -22,9 +22,7 @@ from conftest import print_table, run_once
 from repro.analysis import lightness, max_edge_stretch, root_stretch
 from repro.baselines import kry_slt
 from repro.core import light_spanner, shallow_light_tree, slt_base
-from repro.core.bfn_reduction import bfn_reweighted_graph
 from repro.graphs import erdos_renyi_graph
-from repro.mst.kruskal import kruskal_mst
 
 N = 70
 

@@ -7,9 +7,6 @@ packing at each scale) and the nesting behaviour of the net-tree variant.
 from __future__ import annotations
 
 import math
-import random
-
-import pytest
 
 from conftest import print_table, run_once
 

@@ -7,8 +7,6 @@ quantities (per-vertex exploration overlap, per-scale net sizes).
 """
 
 from __future__ import annotations
-
-import math
 import random
 
 import pytest

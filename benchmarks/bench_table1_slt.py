@@ -8,8 +8,6 @@ lightness → 1) and the rounds scaling in n.
 
 from __future__ import annotations
 
-import random
-
 import pytest
 
 from conftest import print_table, run_once, workload
@@ -64,7 +62,6 @@ def test_slt_stretch_monotone_in_alpha(benchmark):
         ["alpha", "lightness", "root-stretch"],
         [[a, f"{l:.3f}", f"{s:.3f}"] for a, l, s in points],
     )
-    lights = [l for _, l, _ in points]
     assert all(x <= a + 1e-9 for (a, x, _) in points)
 
 

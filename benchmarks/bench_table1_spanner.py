@@ -10,8 +10,6 @@ scaling: sublinear in n, unlike any sequential scan).
 """
 
 from __future__ import annotations
-
-import math
 import random
 
 import pytest
@@ -21,7 +19,6 @@ from conftest import print_table, run_once, workload
 from repro.analysis import lightness, max_edge_stretch, sparsity
 from repro.core import light_spanner
 from repro.graphs import hop_diameter
-from repro.mst.kruskal import kruskal_mst
 
 EPS = 0.25
 N = 80

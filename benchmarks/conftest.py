@@ -15,7 +15,7 @@ live in exactly one place, shared with ``python -m repro bench``.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Iterable, List
 
 from repro.harness import get_profile
 

@@ -15,7 +15,7 @@ cost/latency frontier the SLT trades along.
 Run:  python examples/broadcast_backbone.py
 """
 
-from repro.analysis import lightness, root_stretch
+from repro.analysis import lightness
 from repro.core import shallow_light_tree
 from repro.graphs import WeightedGraph, dijkstra, star_graph
 from repro.mst.kruskal import kruskal_mst

@@ -16,6 +16,10 @@ The paper's constructions (Table 1)
     :func:`repro.core.estimate_mst_weight_via_nets` — the §8 reduction.
 Measurement
     :mod:`repro.analysis` — stretch / lightness / validity certificates.
+Serving
+    :mod:`repro.oracle` — preprocess-once/query-many distance oracle
+    over any constructed structure (exact-on-structure, so the paper's
+    stretch bound carries over to every answer).
 
 See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
@@ -38,6 +42,7 @@ from repro.analysis import (
     max_pairwise_stretch,
     root_stretch,
 )
+from repro.oracle import DistanceOracle, build_oracle
 
 __version__ = "1.0.0"
 
@@ -55,5 +60,7 @@ __all__ = [
     "max_edge_stretch",
     "max_pairwise_stretch",
     "root_stretch",
+    "DistanceOracle",
+    "build_oracle",
     "__version__",
 ]

@@ -6,6 +6,7 @@ from repro.analysis.stretch import (
     max_pairwise_stretch,
     root_stretch,
     average_stretch,
+    sample_pairwise_stretch,
 )
 from repro.analysis.lightness import lightness, sparsity
 from repro.analysis.report import (
@@ -21,6 +22,7 @@ from repro.analysis.validation import (
     verify_spanning_tree,
     verify_slt,
     verify_net,
+    verify_oracle,
 )
 
 __all__ = [
@@ -30,6 +32,7 @@ __all__ = [
     "max_pairwise_stretch",
     "root_stretch",
     "average_stretch",
+    "sample_pairwise_stretch",
     "lightness",
     "sparsity",
     "MetricRow",
@@ -42,4 +45,5 @@ __all__ = [
     "verify_spanning_tree",
     "verify_slt",
     "verify_net",
+    "verify_oracle",
 ]

@@ -9,7 +9,7 @@ consistent summaries and the certification logic lives in one place.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional
 
 from repro.analysis.certify import certify_edge_stretch
 from repro.analysis.lightness import lightness, sparsity

@@ -8,6 +8,7 @@ fails loudly rather than skewing the measured numbers.
 
 from __future__ import annotations
 
+import random
 from typing import Iterable, Optional
 
 from repro.analysis.certify import certify_edge_stretch
@@ -105,6 +106,50 @@ def verify_slt(
         raise ValidationError(
             f"SLT lightness violated: {measured_lightness:.6f} > {beta:.6f}"
         )
+
+
+def verify_oracle(
+    structure: WeightedGraph,
+    oracle,
+    pairs: int = 32,
+    seed: int = 0,
+    tolerance: float = 1e-9,
+) -> None:
+    """``oracle`` must answer exactly on ``structure``.
+
+    The serving layer's contract is *exact-on-structure* (its stretch
+    guarantee vs the host graph is inherited from the structure, so any
+    deviation here silently voids the paper bound).  This spot-checks
+    ``pairs`` seeded random pairs against a fresh Dijkstra per source —
+    the harness and ``repro oracle build --spot-check`` run it after
+    preprocessing, and CI's oracle-smoke job runs it over every smoke
+    profile's structure.
+    """
+    verts = sorted(structure.vertices(), key=repr)
+    oracle_verts = set(oracle.csr.verts)
+    if oracle_verts != set(verts):
+        raise ValidationError(
+            f"oracle serves {len(oracle_verts)} vertices but the structure "
+            f"has {len(verts)}"
+        )
+    if len(verts) < 2:
+        return
+    rng = random.Random(seed)
+    inf = float("inf")
+    by_source = {}
+    for _ in range(pairs):
+        u, v = rng.choice(verts), rng.choice(verts)
+        if u not in by_source:
+            by_source[u] = dijkstra(structure, u)[0]
+        want = by_source[u].get(v, inf)
+        got = oracle.query(u, v)
+        if got == want:  # covers the inf == inf case exactly
+            continue
+        if abs(got - want) > tolerance:
+            raise ValidationError(
+                f"oracle answer for ({u!r}, {v!r}) is {got!r}, "
+                f"Dijkstra on the structure says {want!r}"
+            )
 
 
 def verify_net(

@@ -15,7 +15,7 @@ two-phase selection.
 
 from __future__ import annotations
 
-from typing import Hashable, List, Optional
+from typing import List, Optional
 
 from repro.core.slt import SLTResult
 from repro.congest.ledger import RoundLedger

@@ -9,6 +9,7 @@ doubling    build the §7 doubling-graph spanner
 estimate    run the §8 MST-weight estimation
 generate    write a workload graph to a file
 bench       run the profile-driven benchmark harness (repro.harness)
+oracle      build / query a pickled distance oracle (repro.oracle)
 
 Graphs are read/written with :mod:`repro.io` (edge-list or ``.json`` by
 extension).  Every command prints a short quality report (measured
@@ -152,6 +153,71 @@ def cmd_estimate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_oracle_build(args: argparse.Namespace) -> int:
+    import pickle
+    import time
+
+    from repro.oracle import DistanceOracle
+
+    structure = _load(args.structure)
+    t0 = time.perf_counter()
+    oracle = DistanceOracle.build(
+        structure,
+        landmarks=args.landmarks,
+        strategy=args.strategy,
+        seed=args.seed,
+        cache_size=args.cache_size,
+    )
+    build_s = time.perf_counter() - t0
+    if args.spot_check:
+        from repro.analysis import verify_oracle
+
+        verify_oracle(structure, oracle, pairs=args.spot_check, seed=args.seed)
+        print(f"spot-check  {args.spot_check} pairs vs Dijkstra: ok")
+    with open(args.output, "wb") as fh:
+        pickle.dump(oracle, fh)
+    print(f"structure   {structure}")
+    print(f"oracle      {oracle}")
+    print(f"landmarks   {' '.join(str(v) for v in oracle.landmarks)}")
+    print(f"built in    {build_s:.3f}s")
+    print(f"wrote oracle to {args.output}")
+    return 0
+
+
+def cmd_oracle_query(args: argparse.Namespace) -> int:
+    import pickle
+
+    with open(args.oracle, "rb") as fh:
+        oracle = pickle.load(fh)
+    if len(args.pair) % 2:
+        raise SystemExit("error: vertices must come in pairs (u v [u v ...])")
+    by_name = {str(v): v for v in oracle.csr.verts}
+
+    def resolve(requested: str):
+        try:
+            return by_name[requested]
+        except KeyError:
+            raise SystemExit(
+                f"error: {requested!r} is not a vertex of the served structure"
+            )
+
+    pairs = [
+        (resolve(args.pair[i]), resolve(args.pair[i + 1]))
+        for i in range(0, len(args.pair), 2)
+    ]
+    for (u, v), d in zip(pairs, oracle.query_many(pairs)):
+        print(f"d({u}, {v}) = {d:.6g}")
+    if args.k_nearest is not None:
+        v = resolve(args.k_nearest)
+        ranked = oracle.k_nearest(v, args.k)
+        print(f"{args.k}-nearest of {v}: "
+              + "  ".join(f"{u}@{d:.6g}" for u, d in ranked))
+    info = oracle.cache_info()
+    print(f"cache       {info['hits']} hit(s), {info['misses']} miss(es), "
+          f"{info['size']}/{info['maxsize']} entries")
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     # imported lazily so the file-based commands stay snappy
     from repro import harness
@@ -163,10 +229,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
             print(f"{'':<26} {p.description}")
         return 0
 
-    # --suite is a size tier, or the named "congest" group (the CONGEST
-    # profiles at smoke sizes — what CI's congest-smoke job runs)
+    # --suite is a size tier, or a named group: "congest" (the CONGEST
+    # profiles at smoke sizes — CI's congest-smoke job) or "queries"
+    # (every oracle-servable profile at smoke sizes with the query
+    # workload enabled — CI's oracle-smoke job)
+    queries = args.queries
     if args.suite == "congest":
         tier, default_selection = "smoke", harness.congest_profiles()
+    elif args.suite == "queries":
+        tier, default_selection = "smoke", harness.queryable_profiles()
+        queries = True
     else:
         tier, default_selection = args.suite, harness.all_profiles()
 
@@ -187,7 +259,17 @@ def cmd_bench(args: argparse.Namespace) -> int:
         engine=args.engine,
         certify_workers=args.certify_workers,
         certify_sample=args.certify_sample,
+        queries=queries,
     )
+    if queries:
+        served = [r for r in records if r.queries]
+        for r in served:
+            q = r.queries
+            print(
+                f"    {r.profile:<24} queries {q['count']:>6}  "
+                f"p50 {q['p50_ms']:.3f}ms  p99 {q['p99_ms']:.3f}ms  "
+                f"{q['qps']:.0f} q/s  hit-rate {q['cache_hit_rate']:.0%}"
+            )
     violated = [r.profile for r in records if not r.ok]
     rc = 0
     if violated:
@@ -274,10 +356,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="run only this profile (repeatable; default: all)",
     )
     p.add_argument(
-        "--suite", choices=["smoke", "table1", "stress", "congest"],
+        "--suite", choices=["smoke", "table1", "stress", "congest", "queries"],
         default="smoke",
-        help="size tier to run, or 'congest' for the CONGEST-layer "
-             "profiles at smoke sizes (default: smoke)",
+        help="size tier to run, or a named group: 'congest' (CONGEST-layer "
+             "profiles at smoke sizes) / 'queries' (oracle-servable "
+             "profiles at smoke sizes with the query workload on) "
+             "(default: smoke)",
+    )
+    p.add_argument(
+        "--queries", action="store_true",
+        help="serve the tier's seeded query mix over each constructed "
+             "structure through a distance oracle and record the "
+             "latency/throughput/cache block (implied by --suite queries)",
     )
     p.add_argument(
         "--engine", choices=["sparse", "dense"], default="sparse",
@@ -305,6 +395,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-memory", action="store_true",
                    help="skip the tracemalloc re-run (peak_memory_bytes = 0)")
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "oracle",
+        help="preprocess-once / query-many distance serving (repro.oracle)",
+    )
+    oracle_sub = p.add_subparsers(dest="oracle_command", required=True)
+
+    p = oracle_sub.add_parser(
+        "build", help="preprocess a structure file into a pickled oracle"
+    )
+    p.add_argument("structure",
+                   help="the structure to serve (.json or edge list; e.g. a "
+                        "spanner written by 'repro spanner --output')")
+    p.add_argument("output", help="pickle file the oracle is written to")
+    p.add_argument("--landmarks", type=int, default=8,
+                   help="number of ALT landmarks (default: 8)")
+    p.add_argument("--strategy", choices=["far", "degree"], default="far",
+                   help="landmark selection strategy (default: far-sampling)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--cache-size", type=int, default=4096,
+                   help="LRU result-cache capacity (default: 4096)")
+    p.add_argument("--spot-check", type=int, default=0, metavar="PAIRS",
+                   help="verify this many seeded pairs against Dijkstra "
+                        "before writing the oracle")
+    p.set_defaults(fn=cmd_oracle_build)
+
+    p = oracle_sub.add_parser(
+        "query", help="serve distance queries from a pickled oracle"
+    )
+    p.add_argument("oracle", help="pickle file written by 'repro oracle build'")
+    p.add_argument("pair", nargs="*", metavar="VERTEX",
+                   help="query pairs, flattened: u v [u v ...]")
+    p.add_argument("--k-nearest", metavar="VERTEX", default=None,
+                   help="also print the --k nearest vertices of this vertex")
+    p.add_argument("--k", type=int, default=5,
+                   help="neighbourhood size for --k-nearest (default: 5)")
+    p.set_defaults(fn=cmd_oracle_query)
 
     return parser
 

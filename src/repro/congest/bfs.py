@@ -14,7 +14,7 @@ module builds it two ways:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional
 
 from repro.congest.algorithm import CongestAlgorithm, Inbox, NodeView, Outbox

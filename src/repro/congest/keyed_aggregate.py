@@ -18,7 +18,7 @@ value tuple, deterministic).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from typing import Any, Dict, Hashable, Optional, Tuple
 
 from repro.congest.algorithm import CongestAlgorithm, Inbox, NodeView, Outbox
 from repro.congest.bfs import BFSTree

@@ -33,7 +33,7 @@ traces on either.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, List, Optional, Union
+from typing import Any, Dict, Hashable, List, Union
 
 from repro.congest.algorithm import CongestAlgorithm, NodeView
 from repro.graphs.csr import CSRGraph

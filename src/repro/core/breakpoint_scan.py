@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from repro.congest.algorithm import CongestAlgorithm, Inbox, NodeView, Outbox
 from repro.congest.simulator import SyncNetwork
@@ -80,10 +80,8 @@ class IntervalScan(CongestAlgorithm):
         tour = self.tour
         v = tour.order[j]
         assert v == node.id
-        joined = False
         if j % self.alpha != 0:  # anchors never join BP1
             if tour.times[j] - y_time > self.eps * self.spt_dist[v]:
-                joined = True
                 node.state["scan_joined"].add(j)
                 y_time = tour.times[j]
         else:

@@ -37,7 +37,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.congest.bfs import build_bfs_tree
 from repro.congest.ledger import RoundLedger
@@ -47,7 +47,7 @@ from repro.congest.primitives import (
     local_phase_rounds,
     pipelined_aggregate_rounds,
 )
-from repro.graphs.weighted_graph import Vertex, WeightedGraph, canonical_edge
+from repro.graphs.weighted_graph import Vertex, WeightedGraph
 from repro.mst.fragments import decompose_fragments
 from repro.mst.kruskal import edge_sort_key, kruskal_mst
 from repro.spanners.baswana_sen import baswana_sen_spanner

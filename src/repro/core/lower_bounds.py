@@ -28,7 +28,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, List, Optional, Set, Tuple
+from typing import Dict, Optional, Set
 
 from repro.congest.ledger import RoundLedger
 from repro.core.nets import build_net, greedy_net

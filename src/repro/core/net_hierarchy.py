@@ -21,7 +21,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Set
+from typing import Dict, List, Optional, Set
 
 from repro.congest.ledger import RoundLedger
 from repro.core.nets import build_net, greedy_net

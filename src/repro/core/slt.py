@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.congest.bfs import build_bfs_tree
 from repro.congest.ledger import RoundLedger

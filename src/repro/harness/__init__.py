@@ -7,6 +7,8 @@ reproducible perf record:
   profiles (graph family × size tier × algorithm × parameters);
 * :mod:`repro.harness.runner` — executes profiles, timing construction
   and certification separately and sampling peak memory;
+* :mod:`repro.harness.queries` — seeded query mixes served through a
+  :class:`~repro.oracle.DistanceOracle` (the schema-4 ``queries`` block);
 * :mod:`repro.harness.results` — schema-versioned JSON reports plus the
   regression/improvement comparison gate.
 
@@ -23,13 +25,22 @@ from repro.harness.profiles import (
     profile_names,
     register,
 )
+from repro.harness.queries import (
+    QUERY_MIXES,
+    QueryMix,
+    build_query_mix,
+    run_query_workload,
+)
 from repro.harness.runner import (
     ALGORITHMS,
     CONGEST_ALGORITHMS,
     ENGINES,
+    QUERYABLE_ALGORITHMS,
     SPANNER_CERTIFIED_ALGORITHMS,
+    STRUCTURE_EXTRACTORS,
     NetStats,
     ProfileRecord,
+    queryable_profiles,
     run_profile,
     run_suite,
 )
@@ -55,12 +66,19 @@ __all__ = [
     "get_profile",
     "profile_names",
     "register",
+    "QUERY_MIXES",
+    "QueryMix",
+    "build_query_mix",
+    "run_query_workload",
     "ALGORITHMS",
     "CONGEST_ALGORITHMS",
     "ENGINES",
+    "QUERYABLE_ALGORITHMS",
     "SPANNER_CERTIFIED_ALGORITHMS",
+    "STRUCTURE_EXTRACTORS",
     "NetStats",
     "ProfileRecord",
+    "queryable_profiles",
     "run_profile",
     "run_suite",
     "SCHEMA_NAME",

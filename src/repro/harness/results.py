@@ -19,8 +19,18 @@ Gating rules (deliberately asymmetric per quantity):
   profiles) — deterministic like rounds, same 1% gate; comparing a
   sparse run against a dense baseline shows the utilization win as an
   ``active_node_rounds`` improvement;
+* query serving (``queries`` block, schema 4) — p50/p99 latency gate
+  like wall-clock (relative tolerance over a jitter floor), throughput
+  gates on its reciprocal (fewer queries per second is the regression),
+  and cache hit/miss counts are seeded-deterministic so they gate at 1%
+  like rounds;
 * quality — a profile whose certification flips from ok to violated is
   always a regression, regardless of tolerance.
+
+A quantity only one report knows about — e.g. a schema-v1 baseline
+compared against a current run that has ``network`` or ``queries``
+blocks — is reported as ``metric absent`` for that record and never
+gates: old baselines stay comparable forever instead of raising.
 """
 
 from __future__ import annotations
@@ -32,6 +42,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
+from repro.harness.queries import DETERMINISTIC_QUERY_QUANTITIES
 from repro.harness.runner import ProfileRecord
 
 PathLike = Union[str, "Path"]  # noqa: F821 - keep the io.py convention
@@ -40,8 +51,10 @@ SCHEMA_NAME = "repro.harness.bench"
 #: version 2 added the per-record ``network`` block (messages / words /
 #: active_node_rounds); version 3 the ``certification`` block (mode /
 #: sampled_edges / workers / pruning counters of the bounded-radius
-#: stretch engine).  Older reports still load, with those blocks absent.
-SCHEMA_VERSION = 3
+#: stretch engine); version 4 the ``queries`` block (oracle serving
+#: latency percentiles, throughput, cache hit/miss split).  Older
+#: reports still load, with those blocks absent.
+SCHEMA_VERSION = 4
 
 #: seconds below which timing deltas are considered pure jitter
 TIME_FLOOR_SECONDS = 0.05
@@ -49,6 +62,8 @@ TIME_FLOOR_SECONDS = 0.05
 MEMORY_FLOOR_BYTES = 1 << 20
 #: rounds are seeded-deterministic; allow only numerical slack
 ROUNDS_TOLERANCE = 0.01
+#: milliseconds below which query-latency deltas are considered jitter
+QUERY_LATENCY_FLOOR_MS = 0.05
 
 
 def environment_metadata() -> Dict[str, str]:
@@ -119,21 +134,30 @@ class Delta:
 
     profile: str
     # "construction_seconds" | "peak_memory_bytes" | "rounds" | "messages"
-    # | "words" | "active_node_rounds" | "quality"
+    # | "words" | "active_node_rounds" | "query_p50_ms" | "query_p99_ms"
+    # | "query_qps" | "query_cache_hits" | "query_cache_misses" | "quality"
     quantity: str
-    baseline: float
-    current: float
-    status: str  # "improvement" | "regression" | "ok"
+    baseline: Optional[float]
+    current: Optional[float]
+    status: str  # "improvement" | "regression" | "ok" | "absent"
 
     @property
     def ratio(self) -> float:
         """current / baseline (inf when the baseline is zero)."""
+        if self.baseline is None or self.current is None:
+            return float("nan")
         if self.baseline == 0:
             return float("inf") if self.current else 1.0
         return self.current / self.baseline
 
     def render(self) -> str:
         """One aligned text line for the CLI delta table."""
+        if self.status == "absent":
+            side = "baseline" if self.baseline is None else "current run"
+            return (
+                f" ? {self.profile:<24} {self.quantity:<22} "
+                f"metric absent from the {side}"
+            )
         marker = {"improvement": "+", "regression": "!", "ok": " "}[self.status]
         return (
             f" {marker} {self.profile:<24} {self.quantity:<22} "
@@ -225,6 +249,33 @@ def compare_reports(
     for key in sorted(set(base) & set(curr)):
         b, c = base[key], curr[key]
         name = b.profile
+
+        def _block_delta(quantity, bval, cval, rel, floor, invert=False):
+            """Delta for a quantity either side may lack ("metric absent").
+
+            ``invert=True`` is for more-is-better quantities (throughput):
+            classification runs on the reciprocals so a drop gates as the
+            regression it is.
+            """
+            if bval is None and cval is None:
+                return
+            if bval is None or cval is None:
+                comparison.deltas.append(Delta(
+                    name, quantity,
+                    None if bval is None else float(bval),
+                    None if cval is None else float(cval),
+                    "absent",
+                ))
+                return
+            bval, cval = float(bval), float(cval)
+            if invert:
+                binv = 1.0 / bval if bval else float("inf")
+                cinv = 1.0 / cval if cval else float("inf")
+                status = _classify(binv, cinv, rel, floor)
+            else:
+                status = _classify(bval, cval, rel, floor)
+            comparison.deltas.append(Delta(name, quantity, bval, cval, status))
+
         comparison.deltas.append(Delta(
             name, "construction_seconds",
             b.construction_seconds, c.construction_seconds,
@@ -252,11 +303,29 @@ def compare_reports(
             ("words", b.words, c.words),
             ("active_node_rounds", b.active_node_rounds, c.active_node_rounds),
         ):
-            if bval is not None and cval is not None:
-                comparison.deltas.append(Delta(
-                    name, quantity, float(bval), float(cval),
-                    _classify(float(bval), float(cval), ROUNDS_TOLERANCE, 0.0),
-                ))
+            _block_delta(quantity, bval, cval, ROUNDS_TOLERANCE, 0.0)
+        # query serving (schema-4 ``queries`` block): latencies are
+        # wall-clock (tolerance + per-query jitter floor), throughput
+        # inverts with no floor (qps averages the whole mix, so timer
+        # noise is already ~1/count and a floor would mask real
+        # regressions on fast profiles), and the cache split is
+        # seeded-deterministic like rounds.
+        bq = b.queries or {}
+        cq = c.queries or {}
+        if b.queries is not None or c.queries is not None:
+            query_quantities = [
+                ("p50_ms", tolerance, QUERY_LATENCY_FLOOR_MS, False),
+                ("p99_ms", tolerance, QUERY_LATENCY_FLOOR_MS, False),
+                ("qps", tolerance, 0.0, True),
+            ] + [
+                (q, ROUNDS_TOLERANCE, 0.0, False)
+                for q in DETERMINISTIC_QUERY_QUANTITIES
+            ]
+            for quantity, rel, floor, invert in query_quantities:
+                _block_delta(
+                    f"query_{quantity}", bq.get(quantity), cq.get(quantity),
+                    rel, floor, invert=invert,
+                )
         quality_status = "ok"
         if b.ok and not c.ok:
             quality_status = "regression"

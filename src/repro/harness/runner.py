@@ -18,7 +18,7 @@ import random
 import time
 import tracemalloc
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.analysis.report import MetricRow, QualityReport, net_report, slt_report, spanner_report
@@ -43,6 +43,7 @@ from repro.core.light_spanner import _case1_clusters
 from repro.core.slt import _select_break_points
 from repro.graphs import WeightedGraph
 from repro.harness.profiles import Profile, all_profiles
+from repro.harness.queries import QUERY_MIXES, run_query_workload
 from repro.mst import boruvka_mst, kruskal_mst
 from repro.spanners import baswana_sen_spanner, elkin_neiman_spanner, greedy_spanner
 from repro.spt import approx_spt
@@ -408,6 +409,28 @@ SPANNER_CERTIFIED_ALGORITHMS = frozenset(
      "elkin-neiman", "greedy-spanner"}
 )
 
+# artifact -> the weighted structure a distance oracle can serve.  Keyed
+# by algorithm because each build returns a differently-shaped artifact;
+# an algorithm absent here (nets, estimation, CONGEST traffic) produces
+# no servable metric structure and is skipped by the query suite.
+STRUCTURE_EXTRACTORS: Dict[str, Callable] = {
+    "slt": lambda res: res.tree,
+    "light-spanner": lambda res: res.spanner,
+    "doubling-spanner": lambda res: res.spanner,
+    "baswana-sen": lambda artifact: artifact[0],
+    "elkin-neiman": lambda artifact: artifact[1],
+    "greedy-spanner": lambda spanner: spanner,
+    "mst": lambda res: res.tree,
+}
+
+#: algorithms whose profiles can serve a query workload (``--suite queries``).
+QUERYABLE_ALGORITHMS = frozenset(STRUCTURE_EXTRACTORS)
+
+
+def queryable_profiles() -> List[Profile]:
+    """The profiles the query-workload suite runs (servable structures)."""
+    return [p for p in all_profiles() if p.algorithm in QUERYABLE_ALGORITHMS]
+
 
 @dataclass
 class ProfileRecord:
@@ -437,6 +460,11 @@ class ProfileRecord:
     # stretch-certification accounting (mode / sampled_edges / workers...;
     # spanner-certified profiles only, None elsewhere and in schema <= 2)
     certification: Optional[Dict[str, object]] = None
+    # query-workload serving metrics (latency percentiles, throughput,
+    # cache hit/miss split — see repro.harness.queries); present only when
+    # the run requested queries on a queryable profile, and absent from
+    # schema <= 3 reports
+    queries: Optional[Dict[str, object]] = None
 
     def to_dict(self) -> Dict[str, object]:
         """Plain-JSON form (inverse of :meth:`from_dict`)."""
@@ -463,17 +491,25 @@ class ProfileRecord:
             },
             "certification": dict(self.certification)
             if self.certification is not None else None,
+            "queries": dict(self.queries) if self.queries is not None else None,
             "metrics": {k: dict(v) for k, v in self.metrics.items()},
             "ok": self.ok,
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ProfileRecord":
-        """Rebuild a record from its JSON form (schema versions 1 to 3)."""
+        """Rebuild a record from its JSON form (schema versions 1 to 4).
+
+        Blocks introduced by later schema versions (``network``,
+        ``certification``, ``queries``) load as ``None``/empty when the
+        report predates them — a v1 report must keep comparing cleanly
+        under the current schema.
+        """
         timings = data["timings"]
         graph = data["graph"]
         network = data.get("network") or {}
         certification = data.get("certification")
+        queries = data.get("queries")
         return cls(
             profile=data["profile"],
             tier=data["tier"],
@@ -496,6 +532,7 @@ class ProfileRecord:
             active_node_rounds=network.get("active_node_rounds"),
             certification=dict(certification)
             if certification is not None else None,
+            queries=dict(queries) if queries is not None else None,
         )
 
 
@@ -514,6 +551,7 @@ def run_profile(
     engine: str = "sparse",
     certify_workers: int = 1,
     certify_sample: Optional[float] = None,
+    queries: bool = False,
 ) -> ProfileRecord:
     """Execute ``profile`` at ``tier`` and return its record.
 
@@ -539,6 +577,13 @@ def run_profile(
     engine actually did.  Certification of a profile whose
     ``certifiable`` flag is False is skipped at the stress tier (the
     opt-out for workloads the bounded engine cannot make tractable).
+
+    ``queries=True`` additionally serves the tier's seeded query mix
+    (:data:`repro.harness.queries.QUERY_MIXES`) through a
+    :class:`~repro.oracle.DistanceOracle` built over the constructed
+    structure, filling the record's ``queries`` block with latency
+    percentiles, throughput and the cache hit/miss split; profiles whose
+    algorithm produces no servable structure ignore the flag.
 
     Raises
     ------
@@ -605,6 +650,13 @@ def run_profile(
         ok = report.ok
         certification = getattr(report, "certification", None)
 
+    query_block: Optional[Dict[str, object]] = None
+    if queries and profile.algorithm in QUERYABLE_ALGORITHMS:
+        structure = STRUCTURE_EXTRACTORS[profile.algorithm](artifact)
+        query_block = run_query_workload(
+            structure, QUERY_MIXES[tier], seed=profile.seed
+        )
+
     return ProfileRecord(
         profile=profile.name,
         tier=tier,
@@ -626,6 +678,7 @@ def run_profile(
         words=stats.words if stats is not None else None,
         active_node_rounds=stats.active_node_rounds if stats is not None else None,
         certification=certification,
+        queries=query_block,
     )
 
 
@@ -638,6 +691,7 @@ def run_suite(
     engine: str = "sparse",
     certify_workers: int = 1,
     certify_sample: Optional[float] = None,
+    queries: bool = False,
 ) -> List[ProfileRecord]:
     """Run ``profiles`` (default: all registered) at ``tier`` in name order."""
     selected = profiles if profiles is not None else all_profiles()
@@ -646,7 +700,8 @@ def run_suite(
         record = run_profile(profile, tier, certify=certify,
                              measure_memory=measure_memory, engine=engine,
                              certify_workers=certify_workers,
-                             certify_sample=certify_sample)
+                             certify_sample=certify_sample,
+                             queries=queries)
         records.append(record)
         if progress is not None:
             status = "ok" if record.ok else "VIOLATED"

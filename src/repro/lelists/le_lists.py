@@ -25,7 +25,7 @@ import heapq
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.congest.ledger import RoundLedger
 from repro.graphs.weighted_graph import Vertex, WeightedGraph

@@ -20,7 +20,7 @@ once, uniform across constructions).
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.congest.ledger import RoundLedger
 from repro.graphs.csr import CSRGraph
@@ -139,7 +139,8 @@ def bounded_approx_spt(
         return _csr_bounded_approx_spt(graph, sources, radius, eps)
 
     if eps > 0:
-        weight_of = lambda u, v: _round_up_weight(graph.weight(u, v), eps)
+        def weight_of(u, v):
+            return _round_up_weight(graph.weight(u, v), eps)
     else:
         weight_of = graph.weight
 

@@ -14,7 +14,7 @@ Message: the sender's current estimate (1 word).
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.congest.algorithm import CongestAlgorithm, Inbox, NodeView, Outbox
 from repro.congest.simulator import SyncNetwork

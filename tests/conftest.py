@@ -9,12 +9,9 @@ import pytest
 from repro.graphs import (
     WeightedGraph,
     caterpillar_graph,
-    cycle_graph,
     erdos_renyi_graph,
     grid_graph,
-    path_graph,
     random_geometric_graph,
-    random_tree,
     ring_of_cliques,
     star_graph,
 )

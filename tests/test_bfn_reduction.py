@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import bfn_reweighted_graph
 from repro.core.bfn_reduction import bfn_bounds
-from repro.graphs import dijkstra, erdos_renyi_graph
+from repro.graphs import dijkstra
 from repro.mst.kruskal import kruskal_mst
 
 

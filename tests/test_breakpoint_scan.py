@@ -1,7 +1,6 @@
 """Tests for the native §4.1 interval scan."""
 
 import math
-import random
 
 import pytest
 

@@ -94,3 +94,64 @@ class TestParser:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestOracle:
+    def test_build_and_query(self, er_file, tmp_path, capsys):
+        pkl = tmp_path / "oracle.pkl"
+        rc = main(["oracle", "build", er_file, str(pkl),
+                   "--landmarks", "4", "--spot-check", "10"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "spot-check" in out and "wrote oracle" in out
+        assert pkl.exists()
+
+        rc = main(["oracle", "query", str(pkl), "0", "3", "0", "3",
+                   "--k-nearest", "0", "--k", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "d(0, 3)" in out
+        assert "1 hit(s)" in out  # the repeated pair hit the LRU
+        assert "3-nearest of 0" in out
+
+    def test_query_answers_match_oracle_api(self, er_file, tmp_path, capsys):
+        import pickle
+
+        from repro import io as gio
+        from repro.oracle import build_oracle
+
+        pkl = tmp_path / "oracle.pkl"
+        main(["oracle", "build", er_file, str(pkl)])
+        capsys.readouterr()
+        main(["oracle", "query", str(pkl), "1", "7"])
+        printed = capsys.readouterr().out.splitlines()[0]
+        with open(pkl, "rb") as fh:
+            oracle = pickle.load(fh)
+        want = oracle.query(1, 7)
+        assert f"{want:.6g}" in printed
+        # and the oracle serves the structure that was in the file
+        g = gio.read_edge_list(er_file)
+        assert set(oracle.csr.verts) == set(g.vertices())
+
+    def test_degree_strategy_flag(self, er_file, tmp_path, capsys):
+        pkl = tmp_path / "oracle.pkl"
+        rc = main(["oracle", "build", er_file, str(pkl),
+                   "--strategy", "degree", "--landmarks", "2"])
+        assert rc == 0
+        assert "strategy='degree'" in capsys.readouterr().out
+
+    def test_unknown_vertex_exits(self, er_file, tmp_path, capsys):
+        pkl = tmp_path / "oracle.pkl"
+        main(["oracle", "build", er_file, str(pkl)])
+        with pytest.raises(SystemExit, match="not a vertex"):
+            main(["oracle", "query", str(pkl), "0", "zzz"])
+
+    def test_odd_pair_list_exits(self, er_file, tmp_path):
+        pkl = tmp_path / "oracle.pkl"
+        main(["oracle", "build", er_file, str(pkl)])
+        with pytest.raises(SystemExit, match="pairs"):
+            main(["oracle", "query", str(pkl), "0"])
+
+    def test_build_without_subcommand_exits(self):
+        with pytest.raises(SystemExit):
+            main(["oracle"])

@@ -1,6 +1,4 @@
 """Tests for the keyed-max convergecast and the §5 case-1 simulation."""
-
-import math
 import random
 
 import pytest

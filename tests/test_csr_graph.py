@@ -11,8 +11,6 @@ import pytest
 
 from repro.analysis import max_edge_stretch
 from repro.graphs import (
-    CSRGraph,
-    WeightedGraph,
     barbell_graph,
     caterpillar_graph,
     complete_graph,

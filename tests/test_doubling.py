@@ -2,8 +2,6 @@
 
 import math
 
-import pytest
-
 from repro.graphs import (
     ball,
     complete_graph,

@@ -1,8 +1,6 @@
 """Cross-cutting edge cases: degenerate graphs, extreme parameters,
 adversarial weights — every construction must hold its guarantees or
 fail loudly."""
-
-import math
 import random
 
 import pytest
@@ -30,7 +28,7 @@ from repro.graphs import (
     random_tree,
     star_graph,
 )
-from repro.mst import decompose_fragments, kruskal_mst
+from repro.mst import decompose_fragments
 from repro.traversal import compute_euler_tour
 
 

@@ -6,7 +6,6 @@ broken for its first user — these tests pin them to the code.
 
 import importlib.util
 import re
-import sys
 from pathlib import Path
 
 import pytest

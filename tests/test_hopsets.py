@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.graphs import dijkstra, erdos_renyi_graph, path_graph
+from repro.graphs import dijkstra, path_graph
 from repro.graphs.shortest_paths import path_weight
 from repro.hopsets import (
     build_hopset,

@@ -7,7 +7,6 @@ import pytest
 
 from repro.analysis import (
     lightness,
-    max_edge_stretch,
     max_pairwise_stretch,
     root_stretch,
     verify_net,

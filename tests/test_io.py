@@ -3,7 +3,7 @@
 import pytest
 
 from repro import io as graph_io
-from repro.graphs import WeightedGraph, erdos_renyi_graph
+from repro.graphs import WeightedGraph
 
 
 class TestEdgeList:

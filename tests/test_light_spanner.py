@@ -1,18 +1,15 @@
 """Tests for the §5 light spanner (Theorem 2)."""
-
-import math
 import random
 
 import pytest
 
 from repro.analysis import (
     lightness,
-    max_edge_stretch,
     sparsity,
     verify_spanner,
 )
 from repro.core import light_spanner
-from repro.graphs import erdos_renyi_graph, ring_of_cliques
+from repro.graphs import erdos_renyi_graph
 from repro.mst.kruskal import kruskal_mst
 
 

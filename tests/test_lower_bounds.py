@@ -10,7 +10,6 @@ from repro.graphs import (
     das_sarma_hard_graph,
     erdos_renyi_graph,
     hop_diameter,
-    path_graph,
     random_geometric_graph,
 )
 from repro.mst.kruskal import kruskal_mst

@@ -8,8 +8,6 @@ from repro.graphs import (
     WeightedGraph,
     complete_graph,
     cycle_graph,
-    erdos_renyi_graph,
-    grid_graph,
     path_graph,
     random_tree,
     ring_of_cliques,

@@ -8,12 +8,9 @@ import pytest
 from repro.analysis import verify_net
 from repro.core import build_net, greedy_net
 from repro.graphs import (
-    dijkstra,
     erdos_renyi_graph,
     grid_graph,
-    path_graph,
-    random_geometric_graph,
-)
+    path_graph)
 
 
 class TestBuildNet:

@@ -1,7 +1,5 @@
 """Tests for the native pipelined broadcast/convergecast (Lemma 1)."""
 
-import pytest
-
 from repro.congest import (
     broadcast_messages,
     broadcast_rounds,

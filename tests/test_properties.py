@@ -4,8 +4,6 @@ Strategy: generate random connected weighted graphs of modest size and
 assert the paper's *deterministic* guarantees (stretch of spanners, SLT
 validity, net covering/separation, tour identities) on every sample.
 """
-
-import math
 import random
 
 import pytest
@@ -14,7 +12,6 @@ from hypothesis import strategies as st
 
 from repro.analysis import (
     lightness,
-    max_edge_stretch,
     root_stretch,
     verify_net,
     verify_spanner,

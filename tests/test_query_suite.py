@@ -1,0 +1,214 @@
+"""Query-workload harness integration and report-schema compatibility.
+
+Covers the schema-v4 ``queries`` block end to end — mix determinism,
+record round-trip, the ``--suite queries`` CLI path — and the report
+compatibility contract: a report from any older schema version compares
+cleanly under the current code, reporting ``metric absent`` per record
+for blocks it predates instead of raising.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.harness import (
+    QUERY_MIXES,
+    TIERS,
+    QueryMix,
+    build_query_mix,
+    compare_reports,
+    get_profile,
+    load_report,
+    make_report,
+    queryable_profiles,
+    run_profile,
+    run_query_workload,
+    write_report,
+)
+from repro.harness.runner import ProfileRecord
+
+QUERY_BLOCK_KEYS = {
+    "count", "pair_queries", "k_nearest_queries", "k", "landmarks",
+    "strategy", "build_seconds", "served_seconds", "p50_ms", "p99_ms",
+    "qps", "cache_hits", "cache_misses", "cache_hit_rate",
+}
+
+
+class TestQueryWorkload:
+    def test_every_tier_has_a_mix(self):
+        assert set(QUERY_MIXES) == set(TIERS)
+
+    def test_mix_is_deterministic(self, medium_er):
+        mix = QUERY_MIXES["smoke"]
+        assert build_query_mix(medium_er, mix, seed=9) == \
+            build_query_mix(medium_er, mix, seed=9)
+        a, _ = build_query_mix(medium_er, mix, seed=9)
+        b, _ = build_query_mix(medium_er, mix, seed=10)
+        assert a != b
+
+    def test_workload_block_shape(self, medium_er):
+        mix = QueryMix(pairs=50, hot_set=8, hot_fraction=0.5,
+                       k_nearest=5, k=3, landmarks=2)
+        block = run_query_workload(medium_er, mix, seed=1)
+        assert set(block) == QUERY_BLOCK_KEYS
+        assert block["count"] == 55
+        assert block["cache_hits"] + block["cache_misses"] == 50
+        assert block["cache_hits"] > 0  # the hot set repeats
+        assert block["p99_ms"] >= block["p50_ms"] >= 0.0
+        assert block["qps"] > 0
+
+    def test_cache_split_is_seeded_deterministic(self, medium_er):
+        mix = QUERY_MIXES["smoke"]
+        a = run_query_workload(medium_er, mix, seed=4)
+        b = run_query_workload(medium_er, mix, seed=4)
+        assert a["cache_hits"] == b["cache_hits"]
+        assert a["cache_misses"] == b["cache_misses"]
+
+    def test_tiny_structure_workload(self, triangle):
+        mix = QueryMix(pairs=10, hot_set=2, hot_fraction=1.0,
+                       k_nearest=2, k=2, landmarks=1)
+        block = run_query_workload(triangle, mix, seed=0)
+        assert block["count"] == 12
+
+
+class TestRunProfileQueries:
+    def test_queryable_profile_gets_the_block(self):
+        record = run_profile(get_profile("baswana-sen-er"), "smoke",
+                             measure_memory=False, queries=True)
+        assert record.queries is not None
+        assert set(record.queries) == QUERY_BLOCK_KEYS
+        # round-trips through the JSON form
+        thawed = ProfileRecord.from_dict(record.to_dict())
+        assert thawed.queries == record.queries
+
+    def test_unqueryable_profile_ignores_the_flag(self):
+        record = run_profile(get_profile("net-er"), "smoke",
+                             measure_memory=False, queries=True)
+        assert record.queries is None
+
+    def test_queries_off_by_default(self):
+        record = run_profile(get_profile("mst-ring-of-cliques"), "smoke",
+                             measure_memory=False)
+        assert record.queries is None
+
+    def test_queryable_profiles_cover_spanners_and_trees(self):
+        names = {p.algorithm for p in queryable_profiles()}
+        assert {"baswana-sen", "light-spanner", "slt", "mst"} <= names
+        assert not any(a.startswith("congest-") for a in names)
+
+
+def _v1_report(records):
+    """A schema-version-1 document: record dicts stripped of every block
+    that a later schema version introduced."""
+    report = make_report(records, suite="smoke")
+    report["schema_version"] = 1
+    for rec in report["records"]:
+        for newer in ("network", "certification", "queries"):
+            rec.pop(newer, None)
+    return report
+
+
+class TestSchemaCompatibility:
+    @pytest.fixture
+    def current(self):
+        record = run_profile(get_profile("baswana-sen-er"), "smoke",
+                             measure_memory=False, queries=True)
+        return make_report([record], suite="smoke")
+
+    def test_report_is_schema_v4(self, current):
+        assert current["schema_version"] == 4
+        assert current["records"][0]["queries"] is not None
+
+    def test_v1_report_loads_and_compares_without_keyerror(self, current, tmp_path):
+        record = run_profile(get_profile("baswana-sen-er"), "smoke",
+                             measure_memory=False)
+        v1 = _v1_report([record])
+        path = tmp_path / "v1.json"
+        write_report(v1, path)
+        baseline = load_report(path)
+
+        # v1 baseline vs v4 current: newer blocks are absent per record,
+        # never a KeyError, never a gate failure by themselves
+        comparison = compare_reports(baseline, current)
+        rendered = comparison.render()
+        assert "metric absent" in rendered
+        absent = [d for d in comparison.deltas if d.status == "absent"]
+        assert {d.quantity for d in absent} >= {
+            "query_p50_ms", "query_p99_ms", "query_qps",
+            "query_cache_hits", "query_cache_misses",
+        }
+        assert all(d.baseline is None for d in absent)
+        assert comparison.ok
+
+    def test_v4_baseline_vs_v1_current_direction(self, current):
+        record = run_profile(get_profile("baswana-sen-er"), "smoke",
+                             measure_memory=False)
+        v1 = _v1_report([record])
+        comparison = compare_reports(current, v1)
+        absent = [d for d in comparison.deltas if d.status == "absent"]
+        assert absent and all(d.current is None for d in absent)
+        assert "metric absent from the current run" in comparison.render()
+
+    def test_absent_never_counts_as_regression(self, current):
+        v1 = _v1_report([ProfileRecord.from_dict(
+            dict(current["records"][0], queries=None))])
+        comparison = compare_reports(v1, current)
+        assert not any(d.status == "regression" and d.quantity.startswith("query_")
+                       for d in comparison.deltas)
+
+    def test_v1_record_without_newer_blocks_loads(self):
+        # every field schema v1 wrote, none of the newer blocks: loads
+        # with the blocks absent — while a record missing a field every
+        # schema writes (a corrupt baseline) still fails loudly
+        v1_record = {
+            "profile": "p", "tier": "smoke", "family": "er",
+            "algorithm": "baswana-sen", "section": "§5", "seed": 0,
+            "params": {}, "graph": {"n": 5, "m": 4},
+            "timings": {"generation_seconds": 0.1,
+                        "construction_seconds": 0.2,
+                        "certification_seconds": 0.3},
+            "peak_memory_bytes": 10, "rounds": 7, "metrics": {}, "ok": True,
+        }
+        record = ProfileRecord.from_dict(v1_record)
+        assert record.messages is None
+        assert record.certification is None
+        assert record.queries is None
+
+        corrupt = dict(v1_record)
+        del corrupt["peak_memory_bytes"]
+        with pytest.raises(KeyError):
+            ProfileRecord.from_dict(corrupt)
+
+
+class TestQueriesCLI:
+    def test_suite_queries_writes_v4_report(self, tmp_path, capsys):
+        out = tmp_path / "q.json"
+        rc = main(["bench", "--suite", "queries", "--no-memory",
+                   "--profile", "mst-ring-of-cliques",
+                   "--profile", "slt-er",
+                   "--out", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "p50" in text and "hit-rate" in text
+        report = json.loads(out.read_text())
+        assert report["schema_version"] == 4
+        assert all(r["queries"] for r in report["records"])
+
+    def test_queries_flag_on_a_tier_suite(self, tmp_path, capsys):
+        out = tmp_path / "q.json"
+        rc = main(["bench", "--suite", "smoke", "--queries", "--no-memory",
+                   "--profile", "greedy-spanner-er", "--out", str(out)])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["records"][0]["queries"]["cache_hits"] > 0
+
+    def test_compare_roundtrip_gates_green(self, tmp_path, capsys):
+        out = tmp_path / "base.json"
+        args = ["bench", "--suite", "queries", "--no-memory",
+                "--profile", "mst-ring-of-cliques"]
+        assert main(args + ["--out", str(out)]) == 0
+        assert main(args + ["--compare", str(out)]) == 0
+        assert "PASS" in capsys.readouterr().out

@@ -13,7 +13,7 @@ from repro.analysis.report import (
 )
 from repro.analysis.validation import ValidationError
 from repro.core import build_net, light_spanner, shallow_light_tree
-from repro.graphs import WeightedGraph, cycle_graph, erdos_renyi_graph
+from repro.graphs import WeightedGraph, cycle_graph
 from repro.mst.kruskal import kruskal_mst
 
 

@@ -6,9 +6,6 @@ from repro.analysis import lightness, root_stretch, verify_slt, verify_spanning_
 from repro.baselines import kry_slt
 from repro.core import shallow_light_tree, slt_base
 from repro.graphs import (
-    erdos_renyi_graph,
-    random_geometric_graph,
-    ring_of_cliques,
     star_graph,
 )
 from repro.mst.kruskal import kruskal_mst
