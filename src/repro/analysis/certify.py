@@ -242,7 +242,12 @@ def _certify_chunk(
 _POOL_STATE: Dict[str, object] = {}
 
 
-def _pool_init(hcsr, work, bound, fail_fast) -> None:
+def _pool_init(
+    hcsr: CSRGraph,
+    work: Sequence[SourceWork],
+    bound: Optional[float],
+    fail_fast: bool,
+) -> None:
     _POOL_STATE["args"] = (hcsr, work, bound, fail_fast)
 
 

@@ -27,7 +27,10 @@ graph certifies finite as long as it preserves each component.
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from repro.oracle import DistanceOracle
 
 from repro.analysis.certify import certify_edge_stretch
 from repro.graphs.shortest_paths import bounded_dijkstra, dijkstra
@@ -103,8 +106,8 @@ def sample_pairwise_stretch(
     spanner: WeightedGraph,
     pairs: int = 64,
     seed: int = 0,
-    graph_oracle=None,
-    spanner_oracle=None,
+    graph_oracle: Optional["DistanceOracle"] = None,
+    spanner_oracle: Optional["DistanceOracle"] = None,
 ) -> float:
     """Oracle-served spot-check of the pairwise stretch.
 

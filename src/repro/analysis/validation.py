@@ -9,7 +9,10 @@ fails loudly rather than skewing the measured numbers.
 from __future__ import annotations
 
 import random
-from typing import Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Optional
+
+if TYPE_CHECKING:
+    from repro.oracle import DistanceOracle
 
 from repro.analysis.certify import certify_edge_stretch
 from repro.analysis.lightness import lightness
@@ -110,7 +113,7 @@ def verify_slt(
 
 def verify_oracle(
     structure: WeightedGraph,
-    oracle,
+    oracle: "DistanceOracle",
     pairs: int = 32,
     seed: int = 0,
     tolerance: float = 1e-9,
@@ -162,7 +165,7 @@ def verify_net(
     points = set(points)
     if not points:
         raise ValidationError("net is empty")
-    for p in points:
+    for p in sorted(points, key=repr):
         if not graph.has_vertex(p):
             raise ValidationError(f"net point {p!r} is not a vertex")
     dist, _ = dijkstra(graph, points)

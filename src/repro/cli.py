@@ -10,6 +10,7 @@ estimate    run the §8 MST-weight estimation
 generate    write a workload graph to a file
 bench       run the profile-driven benchmark harness (repro.harness)
 oracle      build / query a pickled distance oracle (repro.oracle)
+lint        run the determinism & contract analyzer (repro.lint)
 
 Graphs are read/written with :mod:`repro.io` (edge-list or ``.json`` by
 extension).  Every command prints a short quality report (measured
@@ -199,7 +200,7 @@ def cmd_oracle_query(args: argparse.Namespace) -> int:
         except KeyError:
             raise SystemExit(
                 f"error: {requested!r} is not a vertex of the served structure"
-            )
+            ) from None
 
     pairs = [
         (resolve(args.pair[i]), resolve(args.pair[i + 1]))
@@ -216,6 +217,31 @@ def cmd_oracle_query(args: argparse.Namespace) -> int:
     print(f"cache       {info['hits']} hit(s), {info['misses']} miss(es), "
           f"{info['size']}/{info['maxsize']} entries")
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro import lint
+
+    if args.rules:
+        for code, summary in lint.rule_catalog().items():
+            print(f"{code}  {summary}")
+        return 0
+    try:
+        diagnostics = lint.lint_paths([Path(p) for p in args.paths])
+    except FileNotFoundError as exc:
+        print(f"error: no such path: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps([d.to_json() for d in diagnostics], indent=2))
+    else:
+        for diag in diagnostics:
+            print(diag.render())
+        if diagnostics:
+            print(f"{len(diagnostics)} finding(s)")
+    return 1 if diagnostics else 0
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -246,7 +272,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         try:
             selected = [harness.get_profile(name) for name in args.profiles]
         except KeyError as exc:
-            raise SystemExit(f"error: {exc.args[0]}")
+            raise SystemExit(f"error: {exc.args[0]}") from None
     else:
         selected = default_selection
 
@@ -285,11 +311,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
         try:
             baseline = harness.load_report(args.compare)
         except (OSError, ValueError) as exc:
-            raise SystemExit(f"error: cannot load baseline: {exc}")
+            raise SystemExit(f"error: cannot load baseline: {exc}") from exc
         try:
             comparison = harness.compare_reports(baseline, report, tolerance=args.tolerance)
         except ValueError as exc:
-            raise SystemExit(f"error: {exc}")
+            raise SystemExit(f"error: {exc}") from exc
         print(f"\ndeltas vs {args.compare} (tolerance {args.tolerance:.0%}):")
         print(comparison.render())
         if not comparison.ok:
@@ -348,6 +374,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--net-method", choices=["greedy", "distributed"], default="greedy")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_estimate)
+
+    p = sub.add_parser(
+        "lint",
+        help="repo-specific determinism & contract analyzer (repro.lint)",
+    )
+    p.add_argument(
+        "paths", nargs="*", default=["src"], metavar="PATH",
+        help="files or directories to analyze (default: src)",
+    )
+    p.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (json is one object per finding, for tooling)",
+    )
+    p.add_argument(
+        "--rules", action="store_true",
+        help="list every rule code with its summary and exit",
+    )
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("bench", help="profile-driven benchmark harness")
     p.add_argument("--list", action="store_true", help="list registered profiles")

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
-from repro.graphs.weighted_graph import WeightedGraph
+from repro.graphs.weighted_graph import Vertex, WeightedGraph
 from repro.mst.kruskal import kruskal_mst
 
 
@@ -49,7 +49,7 @@ def bfn_reweighted_graph(
         raise ValueError(f"delta must be in (0, 1), got {delta}")
     tree = mst if mst is not None else kruskal_mst(graph)
 
-    def reweight(u, v, w):
+    def reweight(u: Vertex, v: Vertex, w: float) -> float:
         return w if tree.has_edge(u, v) else w / delta
 
     return graph.reweighted(reweight)

@@ -36,6 +36,7 @@ from repro.congest.bfs import BFSTree
 from repro.congest.keyed_aggregate import keyed_max_convergecast
 from repro.congest.pipeline import broadcast_messages
 from repro.congest.simulator import SyncNetwork
+from repro.determinism import ensure_rng
 from repro.graphs.weighted_graph import Vertex, WeightedGraph
 from repro.spanners.elkin_neiman import sample_shifts
 
@@ -137,14 +138,14 @@ def simulate_case1_bucket(
     for v in graph.vertices():
         if v not in cluster_of:
             raise ValueError(f"vertex {v!r} has no cluster")
-    rng = rng if rng is not None else random.Random()
+    rng = ensure_rng(rng)
 
     if bucket_edges is None:
         bucket_edges = [(u, v) for u, v, _ in graph.edges()]
     # vertex-level adjacency to foreign clusters, via E_i edges only
     adjacent_clusters: Dict[Vertex, Set[Cluster]] = {v: set() for v in graph.vertices()}
     cluster_graph: Dict[Cluster, Set[Cluster]] = {
-        c: set() for c in set(cluster_of.values())
+        c: set() for c in sorted(set(cluster_of.values()), key=repr)
     }
     for u, v in bucket_edges:
         cu, cv = cluster_of[u], cluster_of[v]

@@ -21,12 +21,14 @@ from __future__ import annotations
 
 import math
 import random
+
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.congest.bfs import build_bfs_tree
 from repro.congest.ledger import RoundLedger
 from repro.core.nets import build_net, greedy_net
+from repro.determinism import ensure_rng
 from repro.graphs.csr import CSRGraph
 from repro.graphs.weighted_graph import Vertex, WeightedGraph
 from repro.hopsets.hopset import bounded_exploration_cost, en16_round_cost
@@ -121,7 +123,7 @@ def doubling_spanner(
         raise ValueError(f"eps must be in (0, 1/8), got {eps}")
     if net_method not in ("distributed", "greedy"):
         raise ValueError(f"unknown net_method {net_method!r}")
-    rng = rng if rng is not None else random.Random()
+    rng = ensure_rng(rng)
     n = graph.n
     if root is None:
         root = min(graph.vertices(), key=repr)

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import math
 import random
+
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -47,6 +48,7 @@ from repro.congest.primitives import (
     local_phase_rounds,
     pipelined_aggregate_rounds,
 )
+from repro.determinism import ensure_rng
 from repro.graphs.weighted_graph import Vertex, WeightedGraph
 from repro.mst.fragments import decompose_fragments
 from repro.mst.kruskal import edge_sort_key, kruskal_mst
@@ -188,7 +190,7 @@ def light_spanner(
         raise ValueError(f"k must be >= 1, got {k}")
     if not 0 < eps <= 0.5:
         raise ValueError(f"eps must be in (0, 1/2], got {eps}")
-    rng = rng if rng is not None else random.Random()
+    rng = ensure_rng(rng)
     n = graph.n
     if root is None:
         root = min(graph.vertices(), key=repr)
@@ -281,7 +283,9 @@ def light_spanner(
                 *representative[key]
             ):
                 representative[key] = (u, v, w)
-        for c in set(cluster_of.values()):
+        # sorted: adjacency's insertion order feeds elkin_neiman_spanner's
+        # RNG consumption, so hash order must not leak into it
+        for c in sorted(set(cluster_of.values())):
             adjacency.setdefault(c, set())
 
         num_clusters = len(adjacency)

@@ -27,11 +27,13 @@ from __future__ import annotations
 
 import math
 import random
+
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Set
 
 from repro.congest.ledger import RoundLedger
 from repro.core.nets import build_net, greedy_net
+from repro.determinism import ensure_rng
 from repro.graphs.weighted_graph import Vertex, WeightedGraph
 from repro.mst.kruskal import kruskal_mst
 
@@ -97,7 +99,7 @@ def estimate_mst_weight_via_nets(
         If the nets fail to shrink to a single point within
         ``max_scales`` scales (cannot happen on poly(n)-weighted graphs).
     """
-    rng = rng if rng is not None else random.Random()
+    rng = ensure_rng(rng)
     ledger = RoundLedger()
     alpha = (1.0 + delta) ** 2
     mst_weight = kruskal_mst(graph).total_weight()

@@ -20,11 +20,13 @@ from __future__ import annotations
 
 import math
 import random
+
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from repro.congest.ledger import RoundLedger
 from repro.core.nets import build_net, greedy_net
+from repro.determinism import ensure_rng
 from repro.graphs.shortest_paths import dijkstra
 from repro.graphs.weighted_graph import Vertex, WeightedGraph
 
@@ -135,7 +137,7 @@ def build_net_hierarchy(
         raise ValueError(f"eps must be positive, got {eps}")
     if method not in ("greedy", "distributed"):
         raise ValueError(f"unknown method {method!r}")
-    rng = rng if rng is not None else random.Random()
+    rng = ensure_rng(rng)
 
     from repro.mst.kruskal import kruskal_mst
 

@@ -18,11 +18,13 @@ from __future__ import annotations
 
 import math
 import random
+
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from repro.congest.bfs import build_bfs_tree
 from repro.congest.ledger import RoundLedger
+from repro.determinism import ensure_rng
 from repro.graphs.shortest_paths import dijkstra
 from repro.graphs.weighted_graph import Vertex, WeightedGraph
 from repro.lelists.le_lists import compute_le_lists, first_in_ball
@@ -99,7 +101,7 @@ def build_net(
         raise ValueError(f"delta_param (Δ) must be positive, got {delta_param}")
     if not 0 < delta < 1:
         raise ValueError(f"delta must be in (0, 1), got {delta}")
-    rng = rng if rng is not None else random.Random()
+    rng = ensure_rng(rng)
     n = graph.n
     if root is None:
         root = min(graph.vertices(), key=repr)

@@ -34,7 +34,10 @@ from __future__ import annotations
 
 from array import array
 from bisect import bisect_left
-from typing import Dict, Hashable, Iterator, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, Iterator, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:
+    from repro.graphs.weighted_graph import WeightedGraph
 
 Vertex = Hashable
 Edge = Tuple[Vertex, Vertex]
@@ -79,7 +82,7 @@ class CSRGraph:
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def from_weighted(cls, graph) -> "CSRGraph":
+    def from_weighted(cls, graph: "WeightedGraph") -> "CSRGraph":
         """Flatten a :class:`WeightedGraph` (vertex order = insertion order)."""
         verts: List[Vertex] = list(graph.vertices())
         index = {v: i for i, v in enumerate(verts)}
@@ -100,7 +103,7 @@ class CSRGraph:
                 pos += 1
         return cls(indptr, indices, weights, verts)
 
-    def to_weighted(self):
+    def to_weighted(self) -> "WeightedGraph":
         """Thaw back into a mutable :class:`WeightedGraph`."""
         from repro.graphs.weighted_graph import WeightedGraph
 

@@ -11,7 +11,22 @@ edge sets coming from different algorithms compare cleanly.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+if TYPE_CHECKING:
+    from repro.graphs.csr import CSRGraph
 
 Vertex = Hashable
 Edge = Tuple[Vertex, Vertex]
@@ -249,7 +264,9 @@ class WeightedGraph:
                 g.add_edge(u, v, w)
         return g
 
-    def reweighted(self, fn) -> "WeightedGraph":
+    def reweighted(
+        self, fn: Callable[[Vertex, Vertex, float], float]
+    ) -> "WeightedGraph":
         """Return a copy with each edge ``(u, v, w)`` reweighted to ``fn(u, v, w)``."""
         g = WeightedGraph(self._adj)
         for u, v, w in self.edges():
@@ -279,13 +296,18 @@ class WeightedGraph:
         return len(self.connected_component(source)) == self.n
 
     def connected_components(self) -> List[Set[Vertex]]:
-        """All connected components, as vertex sets."""
+        """All connected components, as vertex sets.
+
+        Components are listed in vertex-insertion order (the order of
+        each component's first-inserted vertex), not set-hash order.
+        """
         remaining = set(self._adj)
-        components = []
-        while remaining:
-            comp = self.connected_component(next(iter(remaining)))
-            components.append(comp)
-            remaining -= comp
+        components: List[Set[Vertex]] = []
+        for v in self._adj:
+            if v in remaining:
+                comp = self.connected_component(v)
+                components.append(comp)
+                remaining -= comp
         return components
 
     def is_tree(self) -> bool:
@@ -295,13 +317,13 @@ class WeightedGraph:
     # ------------------------------------------------------------------
     # CSR fast-path bridge
     # ------------------------------------------------------------------
-    def to_csr(self):
+    def to_csr(self) -> "CSRGraph":
         """Flatten into a fresh read-only :class:`~repro.graphs.csr.CSRGraph`."""
         from repro.graphs.csr import CSRGraph
 
         return CSRGraph.from_weighted(self)
 
-    def freeze(self):
+    def freeze(self) -> "CSRGraph":
         """Cached :class:`~repro.graphs.csr.CSRGraph` view of this graph.
 
         The CSR view is built on first call and reused until the next
@@ -317,7 +339,7 @@ class WeightedGraph:
     # ------------------------------------------------------------------
     # Interop
     # ------------------------------------------------------------------
-    def to_networkx(self):
+    def to_networkx(self) -> Any:
         """Convert to a ``networkx.Graph`` (weights under key ``'weight'``)."""
         import networkx as nx
 
@@ -327,7 +349,7 @@ class WeightedGraph:
         return g
 
     @classmethod
-    def from_networkx(cls, nxg, weight_key: str = "weight") -> "WeightedGraph":
+    def from_networkx(cls, nxg: Any, weight_key: str = "weight") -> "WeightedGraph":
         """Build from a ``networkx`` graph; missing weights default to 1."""
         g = cls(nxg.nodes())
         for u, v, data in nxg.edges(data=True):
@@ -358,5 +380,5 @@ class WeightedGraph:
         theirs = {canonical_edge(u, v): w for u, v, w in other.edges()}
         return mine == theirs
 
-    def __hash__(self):  # graphs are mutable
+    def __hash__(self) -> int:  # graphs are mutable
         raise TypeError("WeightedGraph is unhashable (mutable)")

@@ -26,7 +26,7 @@ families.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.graphs import (
     WeightedGraph,
@@ -48,13 +48,13 @@ TIERS: Tuple[str, ...] = ("smoke", "table1", "stress")
 def _seedless(builder: Callable[..., WeightedGraph]) -> Callable[..., WeightedGraph]:
     """Adapt a deterministic generator to the uniform ``seed=`` calling shape."""
 
-    def build(seed=None, **kwargs):
+    def build(seed: Optional[int] = None, **kwargs: Any) -> WeightedGraph:
         return builder(**kwargs)
 
     return build
 
 
-def _lower_bound_graph(seed=None, **kwargs) -> WeightedGraph:
+def _lower_bound_graph(seed: Optional[int] = None, **kwargs: Any) -> WeightedGraph:
     graph, _mst_weight = das_sarma_hard_graph(seed=seed, **kwargs)
     return graph
 
@@ -127,7 +127,7 @@ class Profile:
         merged.update(self.tier_params.get(tier, {}))
         return merged
 
-    def build_graph(self, tier: str, **overrides) -> WeightedGraph:
+    def build_graph(self, tier: str, **overrides: Any) -> WeightedGraph:
         """Generate the tier's workload graph, deterministically.
 
         ``overrides`` patch individual generator kwargs (including

@@ -250,7 +250,14 @@ def compare_reports(
         b, c = base[key], curr[key]
         name = b.profile
 
-        def _block_delta(quantity, bval, cval, rel, floor, invert=False):
+        def _block_delta(
+            quantity: str,
+            bval: Optional[float],
+            cval: Optional[float],
+            rel: float,
+            floor: float,
+            invert: bool = False,
+        ) -> None:
             """Delta for a quantity either side may lack ("metric absent").
 
             ``invert=True`` is for more-is-better quantities (throughput):

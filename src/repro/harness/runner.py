@@ -19,7 +19,7 @@ import time
 import tracemalloc
 from collections import Counter
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.analysis.report import MetricRow, QualityReport, net_report, slt_report, spanner_report
 from repro.analysis.validation import verify_spanning_tree
@@ -42,6 +42,7 @@ from repro.core.cluster_simulation import simulate_case1_bucket
 from repro.core.light_spanner import _case1_clusters
 from repro.core.slt import _select_break_points
 from repro.graphs import WeightedGraph
+from repro.graphs.weighted_graph import Vertex
 from repro.harness.profiles import Profile, all_profiles
 from repro.harness.queries import QUERY_MIXES, run_query_workload
 from repro.mst import boruvka_mst, kruskal_mst
@@ -52,20 +53,25 @@ from repro.traversal import compute_euler_tour
 #: engine names ``run_profile(engine=...)`` accepts for CONGEST profiles.
 ENGINES = ("sparse", "dense")
 
+#: the per-tier algorithm parameters run_profile threads through build/certify.
+Params = Dict[str, Any]
 
-def _root(graph: WeightedGraph):
+
+def _root(graph: WeightedGraph) -> Vertex:
     return min(graph.vertices(), key=repr)
 
 
 # Each algorithm entry is (build, certify):
 #   build(graph, params, rng)    -> (artifact, rounds or None)
 #   certify(graph, artifact, params) -> QualityReport
-def _build_slt(graph, params, rng):
+def _build_slt(
+    graph: WeightedGraph, params: Params, rng: random.Random
+) -> Tuple[Any, Optional[int]]:
     res = shallow_light_tree(graph, _root(graph), params["alpha"])
     return res, res.rounds
 
 
-def _certify_slt(graph, res, params):
+def _certify_slt(graph: WeightedGraph, res: Any, params: Params) -> QualityReport:
     return slt_report(
         graph, res.tree, res.root,
         stretch_bound=res.stretch_bound,
@@ -74,12 +80,14 @@ def _certify_slt(graph, res, params):
     )
 
 
-def _build_light_spanner(graph, params, rng):
+def _build_light_spanner(
+    graph: WeightedGraph, params: Params, rng: random.Random
+) -> Tuple[Any, Optional[int]]:
     res = light_spanner(graph, params["k"], params["eps"], rng)
     return res, res.rounds
 
 
-def _spanner_cert_kwargs(params):
+def _spanner_cert_kwargs(params: Params) -> Dict[str, Any]:
     """Certification-engine knobs run_profile injects into ``params``."""
     return {
         "certify_workers": params.get("certify_workers", 1),
@@ -87,30 +95,34 @@ def _spanner_cert_kwargs(params):
     }
 
 
-def _certify_light_spanner(graph, res, params):
+def _certify_light_spanner(graph: WeightedGraph, res: Any, params: Params) -> QualityReport:
     return spanner_report(
         graph, res.spanner, stretch_bound=res.stretch_bound, rounds=res.rounds,
         **_spanner_cert_kwargs(params),
     )
 
 
-def _build_net(graph, params, rng):
+def _build_net(
+    graph: WeightedGraph, params: Params, rng: random.Random
+) -> Tuple[Any, Optional[int]]:
     res = build_net(graph, params["scale"], params["delta"], rng)
     return res, res.rounds
 
 
-def _certify_net(graph, res, params):
+def _certify_net(graph: WeightedGraph, res: Any, params: Params) -> QualityReport:
     return net_report(graph, res.points, res.alpha, res.beta, rounds=res.rounds)
 
 
-def _build_doubling(graph, params, rng):
+def _build_doubling(
+    graph: WeightedGraph, params: Params, rng: random.Random
+) -> Tuple[Any, Optional[int]]:
     res = doubling_spanner(
         graph, params["eps"], rng, net_method=params.get("net_method", "greedy")
     )
     return res, res.rounds
 
 
-def _certify_doubling(graph, res, params):
+def _certify_doubling(graph: WeightedGraph, res: Any, params: Params) -> QualityReport:
     # per-edge stretch is bounded by the pairwise guarantee 1 + 30ε
     return spanner_report(
         graph, res.spanner, stretch_bound=res.stretch_bound, rounds=res.rounds,
@@ -118,14 +130,16 @@ def _certify_doubling(graph, res, params):
     )
 
 
-def _build_estimate(graph, params, rng):
+def _build_estimate(
+    graph: WeightedGraph, params: Params, rng: random.Random
+) -> Tuple[Any, Optional[int]]:
     est = estimate_mst_weight_via_nets(
         graph, net_method=params.get("net_method", "greedy"), rng=rng
     )
     return est, est.ledger.total
 
 
-def _certify_estimate(graph, est, params):
+def _certify_estimate(graph: WeightedGraph, est: Any, params: Params) -> QualityReport:
     # Theorem 7 sandwich: 1 <= Ψ/L <= O(α log n); both sides as upper bounds
     upper = 16.0 * est.alpha * math.log2(max(graph.n, 2))
     ratio = est.approximation_ratio
@@ -137,13 +151,15 @@ def _certify_estimate(graph, est, params):
     return QualityReport(title="mst-weight estimate", rows=rows)
 
 
-def _build_baswana_sen(graph, params, rng):
+def _build_baswana_sen(
+    graph: WeightedGraph, params: Params, rng: random.Random
+) -> Tuple[Any, Optional[int]]:
     ledger = RoundLedger()
     spanner = baswana_sen_spanner(graph, params["k"], rng, ledger)
     return (spanner, ledger), ledger.total
 
 
-def _certify_baswana_sen(graph, artifact, params):
+def _certify_baswana_sen(graph: WeightedGraph, artifact: Any, params: Params) -> QualityReport:
     spanner, ledger = artifact
     bound = 2 * params["k"] - 1
     return spanner_report(
@@ -152,7 +168,9 @@ def _certify_baswana_sen(graph, artifact, params):
     )
 
 
-def _build_elkin_neiman(graph, params, rng):
+def _build_elkin_neiman(
+    graph: WeightedGraph, params: Params, rng: random.Random
+) -> Tuple[Any, Optional[int]]:
     adjacency = {v: set(graph.neighbors(v)) for v in graph.vertices()}
     run = elkin_neiman_spanner(adjacency, params["k"], rng)
     spanner = WeightedGraph(graph.vertices())
@@ -162,7 +180,7 @@ def _build_elkin_neiman(graph, params, rng):
     return (run, spanner), run.rounds
 
 
-def _certify_elkin_neiman(graph, artifact, params):
+def _certify_elkin_neiman(graph: WeightedGraph, artifact: Any, params: Params) -> QualityReport:
     run, spanner = artifact
     bound = 2 * params["k"] - 1
     return spanner_report(
@@ -171,23 +189,27 @@ def _certify_elkin_neiman(graph, artifact, params):
     )
 
 
-def _build_greedy_spanner(graph, params, rng):
+def _build_greedy_spanner(
+    graph: WeightedGraph, params: Params, rng: random.Random
+) -> Tuple[Any, Optional[int]]:
     return greedy_spanner(graph, 2 * params["k"] - 1), None
 
 
-def _certify_greedy_spanner(graph, spanner, params):
+def _certify_greedy_spanner(graph: WeightedGraph, spanner: Any, params: Params) -> QualityReport:
     return spanner_report(
         graph, spanner, stretch_bound=2 * params["k"] - 1,
         **_spanner_cert_kwargs(params),
     )
 
 
-def _build_mst(graph, params, rng):
+def _build_mst(
+    graph: WeightedGraph, params: Params, rng: random.Random
+) -> Tuple[Any, Optional[int]]:
     res = boruvka_mst(graph)
     return res, res.rounds
 
 
-def _certify_mst(graph, res, params):
+def _certify_mst(graph: WeightedGraph, res: Any, params: Params) -> QualityReport:
     verify_spanning_tree(graph, res.tree)
     optimal = kruskal_mst(graph).total_weight()
     ratio = res.tree.total_weight() / optimal if optimal > 0 else 1.0
@@ -224,27 +246,36 @@ class NetStats:
         )
 
 
-def _congest_network(graph, params, network):
+def _congest_network(
+    graph: WeightedGraph, params: Params, network: Optional[SyncNetwork]
+) -> SyncNetwork:
     """The network a CONGEST build runs on; honours ``params['engine']``."""
     if network is not None:
         return network
     return SyncNetwork(graph, dense=params.get("engine") == "dense")
 
 
-def _seeded_payloads(graph, params, rng):
+def _seeded_payloads(
+    graph: WeightedGraph, params: Params, rng: random.Random
+) -> Dict[Vertex, List[int]]:
     """Deterministically place one 1-word payload at ``messages`` vertices."""
     verts = sorted(graph.vertices(), key=repr)
     count = min(int(params["messages"]), len(verts))
     return {v: [i] for i, v in enumerate(rng.sample(verts, count))}
 
 
-def _build_congest_bfs(graph, params, rng, network=None):
+def _build_congest_bfs(
+    graph: WeightedGraph,
+    params: Params,
+    rng: random.Random,
+    network: Optional[SyncNetwork] = None,
+) -> Tuple[Any, int, NetStats]:
     net = _congest_network(graph, params, network)
     tree = build_bfs_tree(graph, _root(graph), network=net)
     return tree, tree.rounds, NetStats.of(net)
 
 
-def _certify_congest_bfs(graph, tree, params):
+def _certify_congest_bfs(graph: WeightedGraph, tree: Any, params: Params) -> QualityReport:
     depth = max(tree.depth.values())
     rows = [
         MetricRow("reached", float(len(tree.depth)), float(graph.n)),
@@ -255,7 +286,12 @@ def _certify_congest_bfs(graph, tree, params):
     return QualityReport(title="congest bfs", rows=rows)
 
 
-def _build_congest_broadcast(graph, params, rng, network=None):
+def _build_congest_broadcast(
+    graph: WeightedGraph,
+    params: Params,
+    rng: random.Random,
+    network: Optional[SyncNetwork] = None,
+) -> Tuple[Any, int, NetStats]:
     net = _congest_network(graph, params, network)
     tree = build_bfs_tree(graph, _root(graph), network=net)
     payloads = _seeded_payloads(graph, params, rng)
@@ -263,7 +299,7 @@ def _build_congest_broadcast(graph, params, rng, network=None):
     return (tree, payloads, received, rounds), net.total_rounds, NetStats.of(net)
 
 
-def _certify_congest_broadcast(graph, artifact, params):
+def _certify_congest_broadcast(graph: WeightedGraph, artifact: Any, params: Params) -> QualityReport:
     tree, payloads, received, rounds = artifact
     expected = sorted(m for msgs in payloads.values() for m in msgs)
     short = sum(1 for v in graph.vertices() if sorted(received[v]) != expected)
@@ -276,7 +312,12 @@ def _certify_congest_broadcast(graph, artifact, params):
     return QualityReport(title="congest broadcast", rows=rows)
 
 
-def _build_congest_convergecast(graph, params, rng, network=None):
+def _build_congest_convergecast(
+    graph: WeightedGraph,
+    params: Params,
+    rng: random.Random,
+    network: Optional[SyncNetwork] = None,
+) -> Tuple[Any, int, NetStats]:
     net = _congest_network(graph, params, network)
     tree = build_bfs_tree(graph, _root(graph), network=net)
     payloads = _seeded_payloads(graph, params, rng)
@@ -284,7 +325,7 @@ def _build_congest_convergecast(graph, params, rng, network=None):
     return (tree, payloads, gathered, rounds), net.total_rounds, NetStats.of(net)
 
 
-def _certify_congest_convergecast(graph, artifact, params):
+def _certify_congest_convergecast(graph: WeightedGraph, artifact: Any, params: Params) -> QualityReport:
     tree, payloads, gathered, rounds = artifact
     expected = sorted(m for msgs in payloads.values() for m in msgs)
     # multiset symmetric difference: counts dropped AND duplicated /
@@ -301,7 +342,12 @@ def _certify_congest_convergecast(graph, artifact, params):
     return QualityReport(title="congest convergecast", rows=rows)
 
 
-def _build_congest_interval_scan(graph, params, rng, network=None):
+def _build_congest_interval_scan(
+    graph: WeightedGraph,
+    params: Params,
+    rng: random.Random,
+    network: Optional[SyncNetwork] = None,
+) -> Tuple[Any, int, NetStats]:
     net = _congest_network(graph, params, network)
     root = _root(graph)
     mst = kruskal_mst(graph)
@@ -313,7 +359,7 @@ def _build_congest_interval_scan(graph, params, rng, network=None):
     return (tour, spt, result), result.rounds, NetStats.of(net)
 
 
-def _certify_congest_interval_scan(graph, artifact, params):
+def _certify_congest_interval_scan(graph: WeightedGraph, artifact: Any, params: Params) -> QualityReport:
     tour, spt, result = artifact
     reference, _, _ = _select_break_points(
         tour, spt.dist, params["eps"], result.alpha, RoundLedger(), 1
@@ -328,7 +374,12 @@ def _certify_congest_interval_scan(graph, artifact, params):
     return QualityReport(title="congest interval scan", rows=rows)
 
 
-def _build_congest_cluster_round(graph, params, rng, network=None):
+def _build_congest_cluster_round(
+    graph: WeightedGraph,
+    params: Params,
+    rng: random.Random,
+    network: Optional[SyncNetwork] = None,
+) -> Tuple[Any, int, NetStats]:
     net = _congest_network(graph, params, network)
     root = _root(graph)
     tree = build_bfs_tree(graph, root, network=net)
@@ -344,7 +395,7 @@ def _build_congest_cluster_round(graph, params, rng, network=None):
     return (tree, sim), net.total_rounds, NetStats.of(net)
 
 
-def _certify_congest_cluster_round(graph, artifact, params):
+def _certify_congest_cluster_round(graph: WeightedGraph, artifact: Any, params: Params) -> QualityReport:
     tree, sim = artifact
     # the simulation exposes the cluster graph and shifts it ran on, so
     # the abstract [EN17b] reference certifies against the same inputs
@@ -367,7 +418,7 @@ def _certify_congest_cluster_round(graph, artifact, params):
 # (a congest-prefixed algorithm returning a 2-tuple would silently record
 # no traffic), and the network kwarg lets the parity suite inject a
 # tracing/dense SyncNetwork.
-BuildFn = Callable[..., Tuple]
+BuildFn = Callable[..., Tuple[Any, ...]]
 CertifyFn = Callable[..., QualityReport]
 
 #: algorithm name -> (build, certify); profiles reference these keys.
@@ -413,7 +464,7 @@ SPANNER_CERTIFIED_ALGORITHMS = frozenset(
 # by algorithm because each build returns a differently-shaped artifact;
 # an algorithm absent here (nets, estimation, CONGEST traffic) produces
 # no servable metric structure and is skipped by the query suite.
-STRUCTURE_EXTRACTORS: Dict[str, Callable] = {
+STRUCTURE_EXTRACTORS: Dict[str, Callable[[Any], WeightedGraph]] = {
     "slt": lambda res: res.tree,
     "light-spanner": lambda res: res.spanner,
     "doubling-spanner": lambda res: res.spanner,

@@ -21,9 +21,11 @@ from __future__ import annotations
 
 import math
 import random
+
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.determinism import ensure_rng
 from repro.graphs.shortest_paths import dijkstra
 from repro.graphs.weighted_graph import Vertex, WeightedGraph
 from repro.hopsets.skeleton import Skeleton
@@ -118,7 +120,7 @@ def build_hopset(
     num_pivots:
         |T|; default ``ceil(sqrt(|V'|))``.
     """
-    rng = rng if rng is not None else random.Random()
+    rng = ensure_rng(rng)
     skel_graph = skeleton.as_graph()
     vertices = sorted(skeleton.vertices, key=repr)
     n_skel = len(vertices)

@@ -16,9 +16,11 @@ from __future__ import annotations
 
 import math
 import random
+
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.determinism import ensure_rng
 from repro.graphs.weighted_graph import Vertex, WeightedGraph
 
 INF = float("inf")
@@ -121,7 +123,7 @@ def build_skeleton(
     hops:
         Hop bound h; default ``ceil(sqrt(n))``.
     """
-    rng = rng if rng is not None else random.Random()
+    rng = ensure_rng(rng)
     n = graph.n
     if size is None:
         size = max(1, math.ceil(math.sqrt(n * max(math.log(n + 1), 1.0))))

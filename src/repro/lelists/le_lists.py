@@ -24,10 +24,12 @@ from __future__ import annotations
 import heapq
 import math
 import random
+
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.congest.ledger import RoundLedger
+from repro.determinism import ensure_rng
 from repro.graphs.weighted_graph import Vertex, WeightedGraph
 
 INF = float("inf")
@@ -79,7 +81,7 @@ def _rounded_graph(graph: WeightedGraph, delta: float) -> WeightedGraph:
         return graph
     base = 1.0 + delta
 
-    def up(_u, _v, w):
+    def up(_u: Vertex, _v: Vertex, w: float) -> float:
         return base ** math.ceil(math.log(w, base) - 1e-12)
 
     return graph.reweighted(up)
@@ -113,7 +115,7 @@ def compute_le_lists(
     """
     active = list(active)
     if pi is None:
-        rng = rng if rng is not None else random.Random()
+        rng = ensure_rng(rng)
         order = list(active)
         rng.shuffle(order)
         pi = {v: i for i, v in enumerate(order)}

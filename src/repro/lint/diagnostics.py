@@ -1,0 +1,39 @@
+"""Diagnostic records produced by the analyzer.
+
+A :class:`Diagnostic` names one finding at one source location.  The
+tuple ordering (path, line, column, code) is the canonical report
+order, so renderings are deterministic for any fixed input tree —
+the analyzer holds itself to the iteration-order rules it enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Union
+
+JsonValue = Union[str, int]
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One analyzer finding, anchored to a precise source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """Human-readable one-liner (``path:line:col: CODE message``)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_json(self) -> Dict[str, JsonValue]:
+        """JSON-serializable dict for ``repro lint --format json``."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }

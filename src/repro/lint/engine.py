@@ -1,0 +1,103 @@
+"""Analyzer driver: file discovery, rule execution, suppression filtering.
+
+:func:`lint_paths` is the library entry point the CLI wraps.  The
+report is deterministic for a fixed tree: files are visited in sorted
+order and diagnostics sort by (path, line, col, code) — the analyzer
+obeys its own iteration-order rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Iterator, List
+
+import repro.lint.rules  # noqa: F401  (imported for the registration side effect)
+from repro.lint.context import FileContext
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import RULES, rule_catalog
+from repro.lint.suppress import parse_suppressions
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files.
+
+    Raises ``FileNotFoundError`` for a path that does not exist (the
+    CLI maps this to the usage-error exit code).
+    """
+    for path in paths:
+        if not path.exists():
+            raise FileNotFoundError(str(path))
+        if path.is_dir():
+            yield from sorted(
+                p for p in path.rglob("*.py") if "__pycache__" not in p.parts
+            )
+        else:
+            yield path
+
+
+def lint_file(path: Path) -> List[Diagnostic]:
+    """Run every applicable rule over one file."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                path=str(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                code="REP000",
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+
+    ctx = FileContext(path, source, tree)
+    suppressions, diagnostics = parse_suppressions(str(path), source)
+
+    known_codes = set(rule_catalog())
+    for suppression in suppressions.values():
+        for code in suppression.codes:
+            if code not in known_codes:
+                diagnostics.append(
+                    Diagnostic(
+                        path=str(path),
+                        line=suppression.line,
+                        col=0,
+                        code="REP002",
+                        message=f"allow[{code}] names an unknown rule code",
+                    )
+                )
+
+    for rule_cls in RULES:
+        if not rule_cls.applies(ctx):
+            continue
+        for diag in rule_cls(ctx).run():
+            suppression = suppressions.get(diag.line)
+            if suppression is not None and diag.code in suppression.codes:
+                suppression.used = True
+            else:
+                diagnostics.append(diag)
+
+    for suppression in suppressions.values():
+        if not suppression.used:
+            codes = ", ".join(suppression.codes)
+            diagnostics.append(
+                Diagnostic(
+                    path=str(path),
+                    line=suppression.line,
+                    col=0,
+                    code="REP003",
+                    message=f"allow[{codes}] suppresses nothing on this line; "
+                    "remove the stale waiver",
+                )
+            )
+    return sorted(diagnostics)
+
+
+def lint_paths(paths: Iterable[Path]) -> List[Diagnostic]:
+    """Lint every ``.py`` file under ``paths``; deterministic order."""
+    diagnostics: List[Diagnostic] = []
+    for path in iter_python_files(paths):
+        diagnostics.extend(lint_file(path))
+    return diagnostics

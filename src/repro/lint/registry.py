@@ -1,0 +1,93 @@
+"""Rule base class and the global rule registry.
+
+A rule is an :class:`ast.NodeVisitor` subclass declaring the codes it
+can emit (``codes``: code -> one-line summary).  Registration is by
+decorator; the engine instantiates every registered rule whose
+:meth:`Rule.applies` accepts the file.  Engine-level codes (parse
+errors, suppression hygiene) are declared here too so
+``all_codes()`` is the single source of truth for what ``allow[...]``
+may name.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Dict, List, Type, TypeVar
+
+from repro.lint.context import FileContext
+from repro.lint.diagnostics import Diagnostic
+
+#: Codes emitted by the engine itself rather than a registered rule.
+ENGINE_CODES: Dict[str, str] = {
+    "REP000": "file does not parse (syntax error)",
+    "REP001": "malformed suppression: missing or empty '-- justification'",
+    "REP002": "suppression names an unknown rule code",
+    "REP003": "suppression matches no diagnostic on its line",
+}
+
+
+class Rule(ast.NodeVisitor):
+    """Base class for analyzer rules.
+
+    Subclasses set ``name`` (kebab-case family id) and ``codes`` and
+    implement ``visit_*`` methods, calling :meth:`report` on findings.
+    One instance is created per (rule, file) pair, so per-file state
+    lives on ``self``.
+    """
+
+    name: ClassVar[str] = ""
+    codes: ClassVar[Dict[str, str]] = {}
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.diagnostics: List[Diagnostic] = []
+
+    @classmethod
+    def applies(cls, ctx: FileContext) -> bool:
+        """Whether this rule should run on ``ctx`` (default: every file)."""
+        return True
+
+    def report(self, node: ast.AST, code: str, message: str) -> None:
+        """Record a finding anchored at ``node``'s location."""
+        if code not in type(self).codes:  # pragma: no cover - rule author error
+            raise ValueError(f"{type(self).__name__} cannot emit {code}")
+        self.diagnostics.append(
+            Diagnostic(
+                path=str(self.ctx.path),
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                code=code,
+                message=message,
+            )
+        )
+
+    def run(self) -> List[Diagnostic]:
+        """Visit the file's tree and return the findings."""
+        self.visit(self.ctx.tree)
+        return self.diagnostics
+
+
+RULES: List[Type[Rule]] = []
+
+R = TypeVar("R", bound=Type[Rule])
+
+
+def register(rule: R) -> R:
+    """Class decorator adding ``rule`` to the global registry."""
+    if not rule.name or not rule.codes:  # pragma: no cover - rule author error
+        raise ValueError(f"{rule.__name__} must declare name and codes")
+    RULES.append(rule)
+    return rule
+
+
+def rule_catalog() -> Dict[str, str]:
+    """Every known code -> summary, engine codes included, sorted."""
+    catalog = dict(ENGINE_CODES)
+    for rule in RULES:
+        catalog.update(rule.codes)
+    return dict(sorted(catalog.items()))
+
+
+def all_codes() -> List[str]:
+    """Sorted list of every code the analyzer can emit."""
+    return sorted(rule_catalog())

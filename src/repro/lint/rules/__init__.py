@@ -1,0 +1,5 @@
+"""Rule modules; importing this package populates the registry."""
+
+from repro.lint.rules import congest, csr, iteration, pool, rng, typing_gate
+
+__all__ = ["congest", "csr", "iteration", "pool", "rng", "typing_gate"]

@@ -1,0 +1,192 @@
+"""CSR freeze discipline (``REP301``–``REP302``).
+
+:class:`~repro.graphs.csr.CSRGraph` is the read-only fast path: its
+arrays (``indptr``/``indices``/``weights``/``verts``) are public so
+hot loops can bind them to locals, and the whole design rests on
+nobody writing to them — ``WeightedGraph.freeze()`` caches one CSR
+per graph, so a write corrupts *every* consumer sharing the cache
+(certify batches, oracle potentials, congest fan-out).  Per-query
+mutable state belongs in separate scratch arrays reset via the
+version-stamp pattern (see ``repro.analysis.certify`` /
+``repro.oracle.oracle``), never in the frozen arrays.
+
+The rule tracks names bound from ``*.freeze()``, ``*.to_csr()``,
+``CSRGraph(...)`` / ``CSRGraph.from_weighted(...)`` and parameters
+annotated ``CSRGraph``, then flags:
+
+* ``REP301`` — stores: ``csr.weights[s] = w``, ``csr.indptr = [...]``,
+  ``csr.indices += ...``, ``del csr.verts[i]``.
+* ``REP302`` — mutating method calls on a frozen array:
+  ``csr.indices.sort()``, ``csr.weights.append(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Dict, List, Optional, Set, Union
+
+from repro.lint.context import FileContext
+from repro.lint.registry import Rule, register
+
+_ARRAY_ATTRS: Set[str] = {"indptr", "indices", "weights", "verts"}
+_MUTATORS: Set[str] = {
+    "append", "byteswap", "clear", "extend", "fill", "frombytes", "fromfile",
+    "fromlist", "insert", "partition", "pop", "remove", "resize", "reverse",
+    "setflags", "sort",
+}
+_FREEZING_METHODS: Set[str] = {"freeze", "to_csr"}
+
+
+def _annotation_names(annotation: Optional[ast.expr]) -> Set[str]:
+    """Identifier leaves of an annotation (handles string annotations)."""
+    if annotation is None:
+        return set()
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        try:
+            annotation = ast.parse(annotation.value, mode="eval").body
+        except SyntaxError:
+            return set()
+    names: Set[str] = set()
+    for sub in ast.walk(annotation):
+        if isinstance(sub, ast.Name):
+            names.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            names.add(sub.attr)
+    return names
+
+
+@register
+class CsrFreeze(Rule):
+    """Frozen CSR arrays are never written."""
+
+    name = "csr-freeze"
+    codes: ClassVar[Dict[str, str]] = {
+        "REP301": "store into an array of a frozen CSRGraph",
+        "REP302": "mutating method call on a frozen CSRGraph array",
+    }
+
+    def __init__(self, ctx: FileContext) -> None:
+        super().__init__(ctx)
+        self._scopes: List[Set[str]] = [set()]
+
+    # -- frozen-name tracking ------------------------------------------
+    def _is_freezing_expr(self, node: ast.expr) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "CSRGraph":
+            return True
+        if isinstance(func, ast.Attribute):
+            if func.attr in _FREEZING_METHODS:
+                return True
+            if func.attr == "from_weighted":
+                value = func.value
+                return isinstance(value, ast.Name) and value.id == "CSRGraph"
+        return False
+
+    def _visit_scope(
+        self, node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    ) -> None:
+        args = node.args
+        frozen: Set[str] = set()
+        for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+            if "CSRGraph" in _annotation_names(arg.annotation):
+                frozen.add(arg.arg)
+        self._scopes.append(frozen)
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_scope(node)
+
+    def _is_frozen_name(self, node: ast.expr) -> bool:
+        if not isinstance(node, ast.Name):
+            return False
+        return any(node.id in scope for scope in self._scopes)
+
+    def _bind(self, targets: List[ast.expr], value: ast.expr) -> None:
+        is_frozen = self._is_freezing_expr(value)
+        for target in targets:
+            if isinstance(target, ast.Name):
+                if is_frozen:
+                    self._scopes[-1].add(target.id)
+                else:
+                    self._scopes[-1].discard(target.id)
+
+    # -- stores (REP301) -----------------------------------------------
+    def _frozen_array_of(self, node: ast.expr) -> Optional[str]:
+        """'csr.weights' when ``node`` is a frozen array attribute."""
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr in _ARRAY_ATTRS
+            and self._is_frozen_name(node.value)
+        ):
+            assert isinstance(node.value, ast.Name)
+            return f"{node.value.id}.{node.attr}"
+        return None
+
+    def _check_store(self, target: ast.expr) -> None:
+        # csr.indptr = ... (attribute rebinding)
+        if isinstance(target, ast.Attribute) and self._is_frozen_name(target.value):
+            assert isinstance(target.value, ast.Name)
+            self.report(
+                target,
+                "REP301",
+                f"rebinding {target.value.id}.{target.attr} on a frozen "
+                "CSRGraph; build a new CSR instead",
+            )
+            return
+        # csr.weights[s] = ... (element store)
+        if isinstance(target, ast.Subscript):
+            label = self._frozen_array_of(target.value)
+            if label is not None:
+                self.report(
+                    target,
+                    "REP301",
+                    f"store into {label}[...] of a frozen CSRGraph; use a "
+                    "version-stamped scratch array (see repro.analysis.certify)",
+                )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_store(target)
+        self._bind(node.targets, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_store(node.target)
+        if node.value is not None:
+            self._bind([node.target], node.value)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_store(node.target)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_store(target)
+        self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            if item.optional_vars is not None:
+                self._bind([item.optional_vars], item.context_expr)
+        self.generic_visit(node)
+
+    # -- mutating calls (REP302) ---------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+            label = self._frozen_array_of(func.value)
+            if label is not None:
+                self.report(
+                    node,
+                    "REP302",
+                    f"{label}.{func.attr}(...) mutates a frozen CSRGraph "
+                    "array shared by every consumer of the freeze() cache",
+                )
+        self.generic_visit(node)

@@ -1,0 +1,198 @@
+"""Iteration-order leakage (``REP201``–``REP202``).
+
+Sets and frozensets iterate in *hash* order.  For strings, bytes and
+most composite keys that order changes per interpreter invocation
+(``PYTHONHASHSEED``); even for small ints it is value-dependent, not
+insertion-dependent.  When such an iteration feeds ordered output —
+a list, RNG consumption, dict insertion order that later drives mail
+delivery — two identically-seeded runs diverge.  This is exactly the
+bug class of ``light_spanner``'s historical
+``for c in set(cluster_of.values())``.
+
+* ``REP201`` — a set-typed expression (literal, comprehension,
+  ``set(...)``/``frozenset(...)`` call, or a local variable bound to
+  one) iterated by a ``for`` statement or comprehension, or
+  materialized by an order-preserving consumer (``list``, ``tuple``,
+  ``enumerate``, ``iter``, ``str.join``).  The sortedness escape
+  hatch: wrap the iterable in ``sorted(...)`` (with ``key=repr`` for
+  mixed-type elements) — order-insensitive folds (``len``, ``sum``,
+  ``min``, ``max``, ``any``, ``all``, set algebra) are fine as-is.
+* ``REP202`` — directory listings (``os.listdir``, ``os.scandir``,
+  ``glob.glob``/``iglob``, ``Path.iterdir``/``glob``/``rglob``)
+  consumed without ``sorted(...)``: the OS returns entries in
+  filesystem order, which differs across machines and runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Dict, List, Optional, Set, Union
+
+from repro.lint.context import FileContext
+from repro.lint.registry import Rule, register
+
+#: Consumers for which hash order cannot leak into the result.
+_ORDER_INSENSITIVE: Set[str] = {
+    "all", "any", "frozenset", "len", "max", "min", "set", "sorted", "sum",
+}
+#: Consumers that preserve (and therefore leak) iteration order.
+_ORDER_PRESERVING: Set[str] = {"enumerate", "iter", "list", "tuple"}
+
+_LISTING_FUNCS: Set[str] = {
+    "os.listdir", "os.scandir", "glob.glob", "glob.iglob", "listdir", "scandir",
+}
+_LISTING_METHODS: Set[str] = {"iterdir", "glob", "rglob"}
+
+_SetExpr = Union[ast.Set, ast.SetComp, ast.Call]
+
+
+@register
+class IterationOrder(Rule):
+    """Hash-ordered iteration must not feed ordered consumption."""
+
+    name = "iteration-order"
+    codes: ClassVar[Dict[str, str]] = {
+        "REP201": "iteration over a set/frozenset feeds ordered consumption",
+        "REP202": "directory listing consumed without sorted(...)",
+    }
+
+    def __init__(self, ctx: FileContext) -> None:
+        super().__init__(ctx)
+        # stack of per-scope maps: local name -> bound to a set expression?
+        self._scopes: List[Dict[str, bool]] = [{}]
+
+    # -- scope tracking ------------------------------------------------
+    def _visit_scope(
+        self, node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    ) -> None:
+        self._scopes.append({})
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_scope(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        is_set = self._is_set_expr(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self._scopes[-1][target.id] = is_set
+        self.generic_visit(node)
+
+    # -- classification ------------------------------------------------
+    def _is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in {"set", "frozenset"}
+        if isinstance(node, ast.Name):
+            for scope in reversed(self._scopes):
+                if node.id in scope:
+                    return scope[node.id]
+        return False
+
+    def _call_name(self, node: ast.Call) -> str:
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name):
+                return f"{func.value.id}.{func.attr}"
+            return func.attr
+        return ""
+
+    # -- REP201 --------------------------------------------------------
+    def _flag_set_iteration(self, iterable: ast.expr, where: str) -> None:
+        if self._is_set_expr(iterable):
+            self.report(
+                iterable,
+                "REP201",
+                f"set iteration order feeds {where}; wrap the iterable in "
+                "sorted(...) (key=repr for mixed-type elements) or fold "
+                "order-insensitively",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._flag_set_iteration(node.iter, "this for loop")
+        self.generic_visit(node)
+
+    def _visit_comprehension_like(
+        self,
+        node: Union[ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp],
+    ) -> None:
+        ordered = not isinstance(node, (ast.SetComp,))
+        if isinstance(node, ast.GeneratorExp):
+            consumer = self.ctx.parent(node)
+            if isinstance(consumer, ast.Call):
+                name = self._call_name(consumer)
+                if name in _ORDER_INSENSITIVE:
+                    ordered = False
+        if ordered:
+            for gen in node.generators:
+                self._flag_set_iteration(gen.iter, "an ordered comprehension")
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comprehension_like(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comprehension_like(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._visit_comprehension_like(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comprehension_like(node)
+
+    # -- calls: ordered consumers and listings -------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self._call_name(node)
+        if name in _ORDER_PRESERVING and len(node.args) >= 1:
+            self._flag_set_iteration(node.args[0], f"{name}(...)")
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+            and node.args
+        ):
+            self._flag_set_iteration(node.args[0], "str.join")
+        self._check_listing(node)
+        self.generic_visit(node)
+
+    def _check_listing(self, node: ast.Call) -> None:
+        name = self._call_name(node)
+        is_listing = name in _LISTING_FUNCS or (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _LISTING_METHODS
+            and not isinstance(node.func.value, ast.Name)
+        )
+        if isinstance(node.func, ast.Attribute) and node.func.attr in _LISTING_METHODS:
+            # path.glob(...) on a Name receiver: glob.glob is covered above;
+            # treat any receiver that is not the glob module as a Path-like
+            if isinstance(node.func.value, ast.Name) and node.func.value.id != "glob":
+                is_listing = True
+        if not is_listing:
+            return
+        # climb through comprehension plumbing so sorted(p for p in
+        # path.rglob(...)) is recognised as sorted consumption
+        consumer: Optional[ast.AST] = self.ctx.parent(node)
+        while isinstance(
+            consumer,
+            (ast.comprehension, ast.GeneratorExp, ast.ListComp, ast.SetComp),
+        ):
+            consumer = self.ctx.parent(consumer)
+        if isinstance(consumer, ast.Call):
+            cname = self._call_name(consumer)
+            if cname in _ORDER_INSENSITIVE:
+                return
+        label = name if name else (
+            node.func.attr if isinstance(node.func, ast.Attribute) else "listing"
+        )
+        self.report(
+            node,
+            "REP202",
+            f"{label}(...) returns entries in filesystem "
+            "order; wrap it in sorted(...)",
+        )

@@ -1,0 +1,111 @@
+"""Strict-typing gate (``REP601``).
+
+``mypy --strict`` runs in CI, but mypy is not part of the runtime
+image — this rule is the *local* approximation of its
+``disallow_untyped_defs``/``disallow_incomplete_defs`` checks, so the
+annotation contract is enforced by ``repro lint`` alone on a machine
+with nothing but the standard library.
+
+Modules listed in :data:`STRICT_MODULES` (keep in sync with the
+``[tool.mypy]`` allowlist in ``pyproject.toml`` — that list must only
+shrink, this one must only grow) require every ``def`` — methods,
+nested helpers, overloads alike — to annotate every parameter and the
+return type.  ``self``/``cls`` in methods are exempt, matching mypy;
+``__init__`` still annotates its return (``-> None``), matching
+``--strict``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Dict, List, Tuple, Union
+
+from repro.lint.context import FileContext
+from repro.lint.registry import Rule, register
+
+#: Package prefixes under the strict-typing gate.  pyproject's mypy
+#: allowlist (modules exempted from --strict) is the complement of
+#: this list over repro.*; grow this list as packages are annotated.
+STRICT_MODULES: Tuple[str, ...] = (
+    "repro.analysis",
+    "repro.determinism",
+    "repro.graphs",
+    "repro.harness",
+    "repro.lint",
+    "repro.oracle",
+)
+
+
+@register
+class TypingGate(Rule):
+    """Strict-gate modules keep every def completely annotated."""
+
+    name = "typing-gate"
+    codes: ClassVar[Dict[str, str]] = {
+        "REP601": "incomplete annotations in a mypy-strict module",
+    }
+
+    @classmethod
+    def applies(cls, ctx: FileContext) -> bool:
+        module = ctx.module
+        if module is None:
+            return False
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in STRICT_MODULES
+        )
+
+    def __init__(self, ctx: FileContext) -> None:
+        super().__init__(ctx)
+        self._class_depth = 0
+        self._func_depth = 0
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        outer_class, outer_func = self._class_depth, self._func_depth
+        self._class_depth, self._func_depth = self._class_depth + 1, 0
+        self.generic_visit(node)
+        self._class_depth, self._func_depth = outer_class, outer_func
+
+    def _visit_function(
+        self, node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    ) -> None:
+        args = node.args
+        positional = list(args.posonlyargs) + list(args.args)
+        is_method = self._class_depth > 0 and self._func_depth == 0
+        has_staticmethod = any(
+            isinstance(d, ast.Name) and d.id == "staticmethod"
+            for d in node.decorator_list
+        )
+        if is_method and positional and not has_staticmethod:
+            positional = positional[1:]  # self / cls, exempt as in mypy
+        missing: List[str] = [
+            a.arg
+            for a in positional + list(args.kwonlyargs)
+            if a.annotation is None
+        ]
+        for vararg, star in ((args.vararg, "*"), (args.kwarg, "**")):
+            if vararg is not None and vararg.annotation is None:
+                missing.append(star + vararg.arg)
+        if missing:
+            self.report(
+                node,
+                "REP601",
+                f"def {node.name} leaves {', '.join(repr(m) for m in missing)} "
+                "unannotated in a mypy-strict module",
+            )
+        if node.returns is None:
+            self.report(
+                node,
+                "REP601",
+                f"def {node.name} lacks a return annotation "
+                "(--strict requires '-> None' even on __init__)",
+            )
+        self._func_depth += 1
+        self.generic_visit(node)
+        self._func_depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)

@@ -191,7 +191,9 @@ class DistanceOracle:
         try:
             return self.csr.index_of(v)
         except (KeyError, TypeError):
-            raise ValueError(f"{v!r} is not a vertex of the served structure")
+            raise ValueError(
+                f"{v!r} is not a vertex of the served structure"
+            ) from None
 
     def _bounds(self, s: int, t: int) -> Tuple[float, float]:
         """Landmark (lower, upper) bounds on ``d(s, t)``.

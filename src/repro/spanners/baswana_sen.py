@@ -20,9 +20,11 @@ Round cost in CONGEST: O(k) (the paper, footnote 9).
 from __future__ import annotations
 
 import random
+
 from typing import Dict, Hashable, Optional, Tuple, Union
 
 from repro.congest.ledger import RoundLedger
+from repro.determinism import ensure_rng
 from repro.graphs.csr import CSRGraph
 from repro.graphs.weighted_graph import WeightedGraph
 from repro.mst.kruskal import edge_sort_key
@@ -67,7 +69,7 @@ def baswana_sen_spanner(
     csr = graph.freeze() if isinstance(graph, WeightedGraph) else graph
     if k == 1:
         return csr.to_weighted()
-    rng = rng if rng is not None else random.Random()
+    rng = ensure_rng(rng)
 
     n = csr.n
     p = n ** (-1.0 / k) if n > 1 else 1.0
@@ -135,7 +137,7 @@ def baswana_sen_spanner(
             else:
                 c_star, (w_star, u_star) = min(
                     sampled_adjacent.items(),
-                    key=lambda item: edge_sort_key(v, item[1][1], item[1][0]),
+                    key=lambda item, v=v: edge_sort_key(v, item[1][1], item[1][0]),
                 )
                 additions.append((v, u_star, w_star))
                 new_center[v] = c_star

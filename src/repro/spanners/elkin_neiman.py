@@ -22,8 +22,11 @@ from __future__ import annotations
 
 import math
 import random
+
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Hashable, List, Mapping, Optional, Set, Tuple
+
+from repro.determinism import ensure_rng
 
 Node = Hashable
 
@@ -99,7 +102,7 @@ def elkin_neiman_spanner(
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
-    rng = rng if rng is not None else random.Random()
+    rng = ensure_rng(rng)
     nodes = list(adjacency)
     if shifts is None:
         shifts = sample_shifts(nodes, k, rng, beta)

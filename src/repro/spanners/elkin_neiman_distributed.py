@@ -14,10 +14,12 @@ model's O(log n)-bit budget (footnote 8).
 from __future__ import annotations
 
 import random
+
 from typing import Dict, FrozenSet, Hashable, Optional, Set, Tuple
 
 from repro.congest.algorithm import CongestAlgorithm, Inbox, NodeView, Outbox
 from repro.congest.simulator import SyncNetwork
+from repro.determinism import ensure_rng
 from repro.graphs.weighted_graph import WeightedGraph
 from repro.spanners.elkin_neiman import ElkinNeimanRun, sample_shifts
 
@@ -93,7 +95,7 @@ def elkin_neiman_distributed(
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
-    rng = rng if rng is not None else random.Random()
+    rng = ensure_rng(rng)
     if shifts is None:
         shifts = sample_shifts(list(graph.vertices()), k, rng)
     net = network if network is not None else SyncNetwork(graph)

@@ -139,7 +139,7 @@ def bounded_approx_spt(
         return _csr_bounded_approx_spt(graph, sources, radius, eps)
 
     if eps > 0:
-        def weight_of(u, v):
+        def weight_of(u: Vertex, v: Vertex) -> float:
             return _round_up_weight(graph.weight(u, v), eps)
     else:
         weight_of = graph.weight

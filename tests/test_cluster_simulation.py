@@ -93,7 +93,7 @@ class TestCase1Simulation:
         g, tree, cluster_of = _case1_setup(25, seed)
         # build the reference cluster graph
         adjacency = {}
-        for c in set(cluster_of.values()):
+        for c in sorted(set(cluster_of.values()), key=repr):
             adjacency[c] = set()
         for u, v, _ in g.edges():
             cu, cv = cluster_of[u], cluster_of[v]

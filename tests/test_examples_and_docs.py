@@ -50,7 +50,7 @@ def test_readme_python_blocks_execute():
 
 def test_design_md_mentions_every_core_module():
     design = (REPO_ROOT / "DESIGN.md").read_text()
-    core = Path(REPO_ROOT, "src", "repro", "core").glob("*.py")
+    core = sorted(Path(REPO_ROOT, "src", "repro", "core").glob("*.py"))
     for module in core:
         if module.stem == "__init__":
             continue
