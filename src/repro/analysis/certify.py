@@ -50,6 +50,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.graphs.csr import CSRGraph
 from repro.graphs.weighted_graph import WeightedGraph
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import DEFAULT_COUNT_BOUNDS, MetricsRegistry, Snapshot
 
 INF = float("inf")
 
@@ -168,13 +171,24 @@ def _certify_chunk(
     hi: int,
     bound: Optional[float],
     fail_fast: bool,
-) -> Tuple[float, int, bool]:
-    """Certify ``work[lo:hi]``; returns ``(worst, fallbacks, exceeded)``.
+) -> Tuple[float, int, bool, Snapshot]:
+    """Certify ``work[lo:hi]``; returns ``(worst, fallbacks, exceeded,
+    metrics snapshot)``.
 
     The scratch arrays are version-stamped so consecutive sources reuse
     them without O(n) clears: an entry is live only when its stamp
     matches the current source's version.
+
+    The snapshot is the chunk's *local* metrics (per-source target-count
+    histogram) — a pool worker aggregates into its own registry and
+    ships the picklable snapshot back with the result; the parent folds
+    it into the process-wide registry at the chunk boundary, so the
+    workers=N totals equal the workers=1 totals exactly.
     """
+    chunk_metrics = MetricsRegistry()
+    targets_hist = chunk_metrics.histogram(
+        "certify.source.targets", DEFAULT_COUNT_BOUNDS
+    )
     n = hcsr.n
     indptr, indices, weights = hcsr.indptr, hcsr.indices, hcsr.weights
     dist = [0.0] * n
@@ -186,6 +200,7 @@ def _certify_chunk(
     fallbacks = 0
     push, pop = heapq.heappush, heapq.heappop
     for src, targets in work[lo:hi]:
+        targets_hist.observe(len(targets))
         version += 1
         # the + 1e-9 mirrors the verifiers' ratio tolerance: a crossing
         # proves ratio > bound + 1e-9 for every unsettled target's edge
@@ -209,7 +224,7 @@ def _certify_chunk(
                 # every unsettled target is beyond bound · max_incident_w:
                 # the certificate is already violated for its edge
                 if fail_fast:
-                    return INF, fallbacks, True
+                    return INF, fallbacks, True, chunk_metrics.snapshot()
                 fallbacks += 1
                 cap = INF  # lift the radius and keep draining the same heap
             done[u] = version
@@ -228,11 +243,12 @@ def _certify_chunk(
                     push(heap, (nd, v))
         for vh, w in targets:
             if done[vh] != version:
-                return INF, fallbacks, False  # unreachable in H
+                # unreachable in H
+                return INF, fallbacks, False, chunk_metrics.snapshot()
             ratio = dist[vh] / w
             if ratio > worst:
                 worst = ratio
-    return worst, fallbacks, False
+    return worst, fallbacks, False, chunk_metrics.snapshot()
 
 
 # -- multiprocessing plumbing -------------------------------------------------
@@ -251,7 +267,7 @@ def _pool_init(
     _POOL_STATE["args"] = (hcsr, work, bound, fail_fast)
 
 
-def _pool_chunk(span: Tuple[int, int]) -> Tuple[float, int, bool]:
+def _pool_chunk(span: Tuple[int, int]) -> Tuple[float, int, bool, Snapshot]:
     hcsr, work, bound, fail_fast = _POOL_STATE["args"]
     return _certify_chunk(hcsr, work, span[0], span[1], bound, fail_fast)
 
@@ -311,12 +327,22 @@ def certify_edge_stretch(
         "bounded" if bound is not None else "exact"
     )
 
-    work, edges_total, edges_in_spanner, pruned, missing = _build_work(
-        gcsr, hcsr, sample, seed
-    )
+    with obs_trace.span("certify.build_work", mode=mode):
+        work, edges_total, edges_in_spanner, pruned, missing = _build_work(
+            gcsr, hcsr, sample, seed
+        )
     edges_checked = sum(len(targets) for _, targets in work)
 
     def _result(worst: float, fallbacks: int, exceeded: bool) -> Certification:
+        reg = obs_metrics.registry()
+        reg.counter("certify.edges.total").inc(edges_total)
+        reg.counter("certify.edges.pruned").inc(edges_in_spanner)
+        reg.counter("certify.edges.checked").inc(edges_checked)
+        reg.counter("certify.sources.explored").inc(len(work))
+        reg.counter("certify.sources.short_circuited").inc(pruned)
+        reg.counter("certify.search.fallbacks").inc(fallbacks)
+        if exceeded:
+            reg.counter("certify.fail_fast.exceeded").inc()
         return Certification(
             max_stretch=worst,
             mode=mode,
@@ -341,9 +367,11 @@ def certify_edge_stretch(
         return _result(1.0, 0, False)
 
     if workers == 1 or len(work) < 2 * workers:
-        worst, fallbacks, exceeded = _certify_chunk(
-            hcsr, work, 0, len(work), bound, fail_fast
-        )
+        with obs_trace.span("certify.chunk", sources=len(work)):
+            worst, fallbacks, exceeded, chunk_snap = _certify_chunk(
+                hcsr, work, 0, len(work), bound, fail_fast
+            )
+        obs_metrics.merge(chunk_snap)
         return _result(worst, fallbacks, exceeded)
 
     # a few chunks per worker smooths imbalance between cheap
@@ -351,18 +379,22 @@ def certify_edge_stretch(
     step = max(1, len(work) // (workers * 4))
     spans = [(lo, min(lo + step, len(work))) for lo in range(0, len(work), step)]
     worst, fallbacks, exceeded = 1.0, 0, False
-    with multiprocessing.Pool(
-        processes=workers,
-        initializer=_pool_init,
-        initargs=(hcsr, work, bound, fail_fast),
-    ) as pool:
-        # imap_unordered so a fail_fast violation stops the run at the
-        # first exceeded chunk instead of draining every span
-        for w, f, e in pool.imap_unordered(_pool_chunk, spans):
-            worst = max(worst, w)
-            fallbacks += f
-            exceeded = exceeded or e
-            if exceeded and fail_fast:
-                pool.terminate()
-                break
+    with obs_trace.span("certify.pool", workers=workers, chunks=len(spans)):
+        with multiprocessing.Pool(
+            processes=workers,
+            initializer=_pool_init,
+            initargs=(hcsr, work, bound, fail_fast),
+        ) as pool:
+            # imap_unordered so a fail_fast violation stops the run at the
+            # first exceeded chunk instead of draining every span
+            for w, f, e, chunk_snap in pool.imap_unordered(_pool_chunk, spans):
+                # fold the worker's local metrics in at the chunk boundary
+                # (workers never touch the parent's registry directly)
+                obs_metrics.merge(chunk_snap)
+                worst = max(worst, w)
+                fallbacks += f
+                exceeded = exceeded or e
+                if exceeded and fail_fast:
+                    pool.terminate()
+                    break
     return _result(worst, fallbacks, exceeded)

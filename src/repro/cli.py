@@ -11,6 +11,7 @@ generate    write a workload graph to a file
 bench       run the profile-driven benchmark harness (repro.harness)
 oracle      build / query a pickled distance oracle (repro.oracle)
 lint        run the determinism & contract analyzer (repro.lint)
+trace       summarize a JSONL span trace (repro.obs)
 
 Graphs are read/written with :mod:`repro.io` (edge-list or ``.json`` by
 extension).  Every command prints a short quality report (measured
@@ -244,6 +245,20 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if diagnostics else 0
 
 
+def cmd_trace_summarize(args: argparse.Namespace) -> int:
+    from repro.obs import summarize_trace
+
+    try:
+        print(summarize_trace(args.trace, top=args.top))
+    except OSError as exc:
+        print(f"error: cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     # imported lazily so the file-based commands stay snappy
     from repro import harness
@@ -280,13 +295,29 @@ def cmd_bench(args: argparse.Namespace) -> int:
         f"running {len(selected)} profile(s) at tier {tier!r} "
         f"({args.engine} engine)"
     )
-    records = harness.run_suite(
-        selected, tier=tier, measure_memory=not args.no_memory, progress=print,
-        engine=args.engine,
-        certify_workers=args.certify_workers,
-        certify_sample=args.certify_sample,
-        queries=queries,
-    )
+    tracer = None
+    if args.trace:
+        from repro import obs
+
+        tracer = obs.enable()
+    try:
+        records = harness.run_suite(
+            selected, tier=tier, measure_memory=not args.no_memory,
+            progress=print,
+            engine=args.engine,
+            certify_workers=args.certify_workers,
+            certify_sample=args.certify_sample,
+            queries=queries,
+        )
+    finally:
+        if tracer is not None:
+            from repro import obs
+
+            obs.disable()
+    if tracer is not None:
+        with open(args.trace, "w", encoding="utf-8") as fh:
+            span_lines = tracer.write_jsonl(fh)
+        print(f"wrote {span_lines} span(s) to {args.trace}")
     if queries:
         served = [r for r in records if r.queries]
         for r in served:
@@ -436,8 +467,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tolerance", type=float, default=0.5,
                    help="relative time/memory tolerance for the gate (default 0.5)")
     p.add_argument("--tag", default=None, help="free-form tag stamped into the report")
-    p.add_argument("--no-memory", action="store_true",
-                   help="skip the tracemalloc re-run (peak_memory_bytes = 0)")
+    p.add_argument("--no-memory", "--no-mem", action="store_true",
+                   help="skip the tracemalloc re-run (tracemalloc instruments "
+                        "every allocation and distorts hot-loop timings; "
+                        "peak_memory_bytes is recorded as null)")
+    p.add_argument("--trace", metavar="OUT.jsonl",
+                   help="record a hierarchical span trace of the run and "
+                        "write it as JSONL (one span per line; inspect with "
+                        "'repro trace summarize')")
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(
@@ -476,6 +513,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--k", type=int, default=5,
                    help="neighbourhood size for --k-nearest (default: 5)")
     p.set_defaults(fn=cmd_oracle_query)
+
+    p = sub.add_parser(
+        "trace", help="inspect JSONL span traces (repro.obs)"
+    )
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+
+    p = trace_sub.add_parser(
+        "summarize",
+        help="render the span tree with self/total time and top hot spans",
+    )
+    p.add_argument("trace", help="JSONL trace written by 'repro bench --trace'")
+    p.add_argument("--top", type=int, default=10, metavar="N",
+                   help="how many hot spans to rank by self time (default: 10)")
+    p.set_defaults(fn=cmd_trace_summarize)
 
     return parser
 

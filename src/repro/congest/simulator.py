@@ -38,6 +38,8 @@ from typing import Any, Dict, Hashable, List, Union
 from repro.congest.algorithm import CongestAlgorithm, NodeView
 from repro.graphs.csr import CSRGraph
 from repro.graphs.weighted_graph import WeightedGraph
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 Vertex = Hashable
 
@@ -234,10 +236,31 @@ class SyncNetwork:
             contract; ``dense=True`` reproduces the legacy behaviour
             (spinning to ``max_rounds``).
         """
-        if self.dense:
-            rounds = self._run_dense(algorithm, max_rounds, quiesce)
-        else:
-            rounds = self._run_sparse(algorithm, max_rounds, quiesce)
+        # Lifetime total_* counters before/after bracket exactly this
+        # run's traffic (per-run counters may carry state when reset()
+        # was skipped), so the fold into the process-wide registry is a
+        # clean delta per run.
+        rounds0 = self.total_rounds
+        messages0 = self.total_messages_sent
+        words0 = self.total_words_sent
+        active0 = self.total_active_node_rounds
+        engine = "dense" if self.dense else "sparse"
+        with obs_trace.span(
+            "congest.run", algorithm=type(algorithm).__name__, engine=engine
+        ):
+            if self.dense:
+                rounds = self._run_dense(algorithm, max_rounds, quiesce)
+            else:
+                rounds = self._run_sparse(algorithm, max_rounds, quiesce)
+        reg = obs_metrics.registry()
+        reg.counter("congest.rounds.executed").inc(self.total_rounds - rounds0)
+        reg.counter("congest.messages.sent").inc(
+            self.total_messages_sent - messages0
+        )
+        reg.counter("congest.words.sent").inc(self.total_words_sent - words0)
+        reg.counter("congest.active_node.rounds").inc(
+            self.total_active_node_rounds - active0
+        )
         for view in self._view_list:
             algorithm.finish(view)
         return rounds
@@ -251,6 +274,8 @@ class SyncNetwork:
         is_done = algorithm.is_done
         step = algorithm.step
         always = bool(algorithm.always_active)
+        # per-round utilization gauge (last round's level + observed peak)
+        active_gauge = obs_metrics.gauge("congest.network.active_nodes")
 
         # Persistent integer-indexed inbox buffers, double-buffered: nodes
         # read round-r mail from ``cur_box`` while round-(r+1) mail lands
@@ -361,6 +386,7 @@ class SyncNetwork:
                 active += 1
             self.active_node_rounds += active
             self.total_active_node_rounds += active
+            active_gauge.set(active)
             self.rounds_executed += 1
             self.total_rounds += 1
         return self.rounds_executed
@@ -374,6 +400,7 @@ class SyncNetwork:
         # programs that predate the activity contract.
         n = len(self._verts)
         verts, vidx, view_list = self._verts, self._vidx, self._view_list
+        active_gauge = obs_metrics.gauge("congest.network.active_nodes")
         inflight: List[Dict[Vertex, Any]] = [{} for _ in range(n)]
 
         # Round 0: setup.
@@ -417,6 +444,7 @@ class SyncNetwork:
                         any_message = True
             self.active_node_rounds += n
             self.total_active_node_rounds += n
+            active_gauge.set(n)  # the dense engine steps everyone
             self.rounds_executed += 1
             self.total_rounds += 1
         return self.rounds_executed

@@ -23,6 +23,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.graphs.weighted_graph import Vertex, WeightedGraph
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.oracle import DistanceOracle
 
 #: quantities in the ``queries`` block whose values are seeded-deterministic
@@ -100,27 +102,33 @@ def run_query_workload(
     :meth:`~repro.oracle.DistanceOracle.k_nearest`, with per-query
     latency sampled around each call.
     """
-    t0 = time.perf_counter()
-    oracle = DistanceOracle.build(
-        structure, landmarks=mix.landmarks, strategy=mix.strategy, seed=seed
-    )
-    build_seconds = time.perf_counter() - t0
+    with obs_trace.timed_span("queries.oracle_build") as t_build:
+        oracle = DistanceOracle.build(
+            structure, landmarks=mix.landmarks, strategy=mix.strategy, seed=seed
+        )
+    build_seconds = t_build.wall_s
 
     pairs, sources = build_query_mix(structure, mix, seed)
     latencies: List[float] = []
     clock = time.perf_counter
-    served_t0 = clock()
-    for u, v in pairs:
-        t = clock()
-        oracle.query(u, v)
-        latencies.append(clock() - t)
-    for v in sources:
-        t = clock()
-        oracle.k_nearest(v, mix.k)
-        latencies.append(clock() - t)
-    served_seconds = clock() - served_t0
+    with obs_trace.timed_span(
+        "queries.serve", pairs=len(pairs), k_nearest=len(sources)
+    ) as t_serve:
+        served_t0 = clock()
+        for u, v in pairs:
+            t = clock()
+            oracle.query(u, v)
+            latencies.append(clock() - t)
+        for v in sources:
+            t = clock()
+            oracle.k_nearest(v, mix.k)
+            latencies.append(clock() - t)
+        served_seconds = clock() - served_t0
 
     info = oracle.cache_info()
+    # fold the oracle's per-instance metrics (cache counters, latency
+    # histogram) into the process-wide registry now that serving is done
+    obs_metrics.merge(oracle.metrics.snapshot())
     count = len(latencies)
     latencies.sort()
 

@@ -52,9 +52,12 @@ SCHEMA_NAME = "repro.harness.bench"
 #: active_node_rounds); version 3 the ``certification`` block (mode /
 #: sampled_edges / workers / pruning counters of the bounded-radius
 #: stretch engine); version 4 the ``queries`` block (oracle serving
-#: latency percentiles, throughput, cache hit/miss split).  Older
-#: reports still load, with those blocks absent.
-SCHEMA_VERSION = 4
+#: latency percentiles, throughput, cache hit/miss split); version 5
+#: the ``observability`` block (per-record repro.obs counter/gauge
+#: deltas + span count), the network block's lifetime ``rounds`` total,
+#: and a nullable ``peak_memory_bytes`` (``--no-mem`` runs record
+#: ``null``).  Older reports still load, with those blocks absent.
+SCHEMA_VERSION = 5
 
 #: seconds below which timing deltas are considered pure jitter
 TIME_FLOOR_SECONDS = 0.05
@@ -289,12 +292,12 @@ def compare_reports(
             _classify(b.construction_seconds, c.construction_seconds,
                       tolerance, TIME_FLOOR_SECONDS),
         ))
-        comparison.deltas.append(Delta(
-            name, "peak_memory_bytes",
-            float(b.peak_memory_bytes), float(c.peak_memory_bytes),
-            _classify(float(b.peak_memory_bytes), float(c.peak_memory_bytes),
-                      tolerance, float(MEMORY_FLOOR_BYTES)),
-        ))
+        # nullable since schema 5 (--no-mem records null): either side
+        # missing reports "metric absent" instead of gating
+        _block_delta(
+            "peak_memory_bytes", b.peak_memory_bytes, c.peak_memory_bytes,
+            tolerance, float(MEMORY_FLOOR_BYTES),
+        )
         if b.rounds is not None and c.rounds is not None:
             comparison.deltas.append(Delta(
                 name, "rounds", float(b.rounds), float(c.rounds),
@@ -309,6 +312,7 @@ def compare_reports(
             ("messages", b.messages, c.messages),
             ("words", b.words, c.words),
             ("active_node_rounds", b.active_node_rounds, c.active_node_rounds),
+            ("net_rounds", b.net_rounds, c.net_rounds),
         ):
             _block_delta(quantity, bval, cval, ROUNDS_TOLERANCE, 0.0)
         # query serving (schema-4 ``queries`` block): latencies are

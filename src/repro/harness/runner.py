@@ -45,6 +45,8 @@ from repro.graphs import WeightedGraph
 from repro.graphs.weighted_graph import Vertex
 from repro.harness.profiles import Profile, all_profiles
 from repro.harness.queries import QUERY_MIXES, run_query_workload
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.mst import boruvka_mst, kruskal_mst
 from repro.spanners import baswana_sen_spanner, elkin_neiman_spanner, greedy_spanner
 from repro.spt import approx_spt
@@ -225,9 +227,13 @@ def _certify_mst(graph: WeightedGraph, res: Any, params: Params) -> QualityRepor
 class NetStats:
     """Measured traffic of a CONGEST profile run (one or more phases).
 
-    ``active_node_rounds`` counts ``step`` invocations — the sparse
-    engine's utilization measure (the dense engine's value is always
-    ``n × step-rounds``).
+    Each field mirrors a lifetime ``total_*`` counter of the
+    :class:`SyncNetwork` — NOT the per-run counters — so a multi-phase
+    build (BFS tree + broadcast on one network) reports aggregate
+    traffic even though :meth:`SyncNetwork.reset` zeroed the per-run
+    counters between phases.  ``active_node_rounds`` counts ``step``
+    invocations — the sparse engine's utilization measure (the dense
+    engine's value is always ``n × step-rounds``).
     """
 
     rounds: int
@@ -237,7 +243,7 @@ class NetStats:
 
     @classmethod
     def of(cls, net: SyncNetwork) -> "NetStats":
-        """Snapshot a network's lifetime counters."""
+        """Snapshot a network's lifetime ``total_*`` counters."""
         return cls(
             rounds=net.total_rounds,
             messages=net.total_messages_sent,
@@ -499,15 +505,18 @@ class ProfileRecord:
     generation_seconds: float
     construction_seconds: float
     certification_seconds: float
-    peak_memory_bytes: int
+    # None when the run opted out of the tracemalloc pass (--no-mem)
+    peak_memory_bytes: Optional[int]
     rounds: Optional[int]
     metrics: Dict[str, Dict[str, object]]
     ok: bool
-    # measured network traffic (CONGEST profiles only; None elsewhere and
-    # in schema-version-1 reports)
+    # measured network traffic, from the SyncNetwork's lifetime total_*
+    # counters (CONGEST profiles only; None elsewhere and in
+    # schema-version-1 reports; net_rounds absent before schema 5)
     messages: Optional[int] = None
     words: Optional[int] = None
     active_node_rounds: Optional[int] = None
+    net_rounds: Optional[int] = None
     # stretch-certification accounting (mode / sampled_edges / workers...;
     # spanner-certified profiles only, None elsewhere and in schema <= 2)
     certification: Optional[Dict[str, object]] = None
@@ -516,6 +525,12 @@ class ProfileRecord:
     # the run requested queries on a queryable profile, and absent from
     # schema <= 3 reports
     queries: Optional[Dict[str, object]] = None
+    # per-record observability: whether tracing was on, spans recorded
+    # during this record, and the record's deltas of the process-wide
+    # counter/gauge metrics (histograms stay out — their latency buckets
+    # are wall-clock-shaped and the block must stay seeded-deterministic);
+    # absent from schema <= 4 reports
+    observability: Optional[Dict[str, object]] = None
 
     def to_dict(self) -> Dict[str, object]:
         """Plain-JSON form (inverse of :meth:`from_dict`)."""
@@ -536,6 +551,7 @@ class ProfileRecord:
             "peak_memory_bytes": self.peak_memory_bytes,
             "rounds": self.rounds,
             "network": {
+                "rounds": self.net_rounds,
                 "messages": self.messages,
                 "words": self.words,
                 "active_node_rounds": self.active_node_rounds,
@@ -543,24 +559,27 @@ class ProfileRecord:
             "certification": dict(self.certification)
             if self.certification is not None else None,
             "queries": dict(self.queries) if self.queries is not None else None,
+            "observability": dict(self.observability)
+            if self.observability is not None else None,
             "metrics": {k: dict(v) for k, v in self.metrics.items()},
             "ok": self.ok,
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ProfileRecord":
-        """Rebuild a record from its JSON form (schema versions 1 to 4).
+        """Rebuild a record from its JSON form (schema versions 1 to 5).
 
         Blocks introduced by later schema versions (``network``,
-        ``certification``, ``queries``) load as ``None``/empty when the
-        report predates them — a v1 report must keep comparing cleanly
-        under the current schema.
+        ``certification``, ``queries``, ``observability``) load as
+        ``None``/empty when the report predates them — a v1 report must
+        keep comparing cleanly under the current schema.
         """
         timings = data["timings"]
         graph = data["graph"]
         network = data.get("network") or {}
         certification = data.get("certification")
         queries = data.get("queries")
+        observability = data.get("observability")
         return cls(
             profile=data["profile"],
             tier=data["tier"],
@@ -581,9 +600,12 @@ class ProfileRecord:
             messages=network.get("messages"),
             words=network.get("words"),
             active_node_rounds=network.get("active_node_rounds"),
+            net_rounds=network.get("rounds"),
             certification=dict(certification)
             if certification is not None else None,
             queries=dict(queries) if queries is not None else None,
+            observability=dict(observability)
+            if observability is not None else None,
         )
 
 
@@ -591,6 +613,32 @@ def _report_metrics(report: QualityReport) -> Dict[str, Dict[str, object]]:
     return {
         row.name: {"measured": row.measured, "bound": row.bound, "ok": row.ok}
         for row in report.rows
+    }
+
+
+def _observability_block(
+    counters_before: Dict[str, float], spans_before: int
+) -> Dict[str, object]:
+    """The record's ``observability`` block: this record's metric activity.
+
+    Counters report the *delta* over the record (the process-wide
+    registry accumulates across a suite); gauges report their current
+    level — a delta of a last-value-wins level is meaningless.
+    Histograms are excluded on purpose: latency buckets are
+    wall-clock-shaped, and this block must stay seeded-deterministic so
+    BENCH reports byte-compare across identically-seeded runs.
+    """
+    metric_values: Dict[str, float] = {}
+    for name, data in obs_metrics.snapshot().items():
+        kind = data["type"]
+        if kind == "counter":
+            metric_values[name] = data["value"] - counters_before.get(name, 0)
+        elif kind == "gauge":
+            metric_values[name] = data["value"]
+    return {
+        "enabled": obs_trace.enabled(),
+        "span_count": obs_trace.span_count() - spans_before,
+        "metrics": metric_values,
     }
 
 
@@ -610,8 +658,9 @@ def run_profile(
     (tracing slows allocation-heavy Python severalfold and would
     misrepresent real speed); when ``measure_memory`` is set the
     construction is then re-run — same seed, so the same work — under
-    tracing to sample peak memory.  Pass ``measure_memory=False`` to
-    skip the second pass on expensive tiers.
+    tracing to sample peak memory.  Pass ``measure_memory=False``
+    (``--no-mem``) to skip the second pass on expensive tiers; the
+    record's ``peak_memory_bytes`` is then ``null``.
 
     ``engine`` selects the CONGEST round engine (``"sparse"`` — the
     default — or ``"dense"``) for profiles whose algorithm runs on a
@@ -661,52 +710,64 @@ def run_profile(
     if tier == "stress" and not profile.certifiable:
         certify = False
 
-    t0 = time.perf_counter()
-    graph = profile.build_graph(tier)
-    generation_seconds = time.perf_counter() - t0
+    counters_before = obs_metrics.scalars()
+    spans_before = obs_trace.span_count()
+    profile_span = obs_trace.span(
+        "harness.profile", profile=profile.name, tier=tier
+    )
+    profile_span.__enter__()
+    try:
+        with obs_trace.timed_span("harness.generate") as t_gen:
+            graph = profile.build_graph(tier)
+        generation_seconds = t_gen.wall_s
 
-    t0 = time.perf_counter()
-    built = build(graph, params, random.Random(profile.seed))
-    artifact, rounds = built[0], built[1]
-    stats: Optional[NetStats] = built[2] if len(built) > 2 else None
-    if stats is None and profile.algorithm in CONGEST_ALGORITHMS:
-        # a congest build that forgets the NetStats element would silently
-        # disable the messages/words/active-node-rounds regression gate
-        raise TypeError(
-            f"CONGEST build {profile.algorithm!r} must return "
-            f"(artifact, rounds, NetStats)"
-        )
-    construction_seconds = time.perf_counter() - t0
+        with obs_trace.timed_span("harness.build") as t_build:
+            built = build(graph, params, random.Random(profile.seed))
+        artifact, rounds = built[0], built[1]
+        stats: Optional[NetStats] = built[2] if len(built) > 2 else None
+        if stats is None and profile.algorithm in CONGEST_ALGORITHMS:
+            # a congest build that forgets the NetStats element would
+            # silently disable the messages/words/active-node-rounds
+            # regression gate
+            raise TypeError(
+                f"CONGEST build {profile.algorithm!r} must return "
+                f"(artifact, rounds, NetStats)"
+            )
+        construction_seconds = t_build.wall_s
 
-    peak_memory = 0
-    if measure_memory:
-        tracemalloc_was_tracing = tracemalloc.is_tracing()
-        if not tracemalloc_was_tracing:
-            tracemalloc.start()
-        tracemalloc.reset_peak()
-        build(graph, params, random.Random(profile.seed))
-        _, peak_memory = tracemalloc.get_traced_memory()
-        if not tracemalloc_was_tracing:
-            tracemalloc.stop()
+        peak_memory: Optional[int] = None
+        if measure_memory:
+            with obs_trace.span("harness.memory"):
+                tracemalloc_was_tracing = tracemalloc.is_tracing()
+                if not tracemalloc_was_tracing:
+                    tracemalloc.start()
+                tracemalloc.reset_peak()
+                build(graph, params, random.Random(profile.seed))
+                _, peak_memory = tracemalloc.get_traced_memory()
+                if not tracemalloc_was_tracing:
+                    tracemalloc.stop()
 
-    metrics: Dict[str, Dict[str, object]] = {}
-    ok = True
-    certification_seconds = 0.0
-    certification: Optional[Dict[str, object]] = None
-    if certify:
-        t0 = time.perf_counter()
-        report = certify_fn(graph, artifact, params)
-        certification_seconds = time.perf_counter() - t0
-        metrics = _report_metrics(report)
-        ok = report.ok
-        certification = getattr(report, "certification", None)
+        metrics: Dict[str, Dict[str, object]] = {}
+        ok = True
+        certification_seconds = 0.0
+        certification: Optional[Dict[str, object]] = None
+        if certify:
+            with obs_trace.timed_span("harness.certify") as t_cert:
+                report = certify_fn(graph, artifact, params)
+            certification_seconds = t_cert.wall_s
+            metrics = _report_metrics(report)
+            ok = report.ok
+            certification = getattr(report, "certification", None)
 
-    query_block: Optional[Dict[str, object]] = None
-    if queries and profile.algorithm in QUERYABLE_ALGORITHMS:
-        structure = STRUCTURE_EXTRACTORS[profile.algorithm](artifact)
-        query_block = run_query_workload(
-            structure, QUERY_MIXES[tier], seed=profile.seed
-        )
+        query_block: Optional[Dict[str, object]] = None
+        if queries and profile.algorithm in QUERYABLE_ALGORITHMS:
+            structure = STRUCTURE_EXTRACTORS[profile.algorithm](artifact)
+            with obs_trace.span("harness.queries"):
+                query_block = run_query_workload(
+                    structure, QUERY_MIXES[tier], seed=profile.seed
+                )
+    finally:
+        profile_span.__exit__(None, None, None)
 
     return ProfileRecord(
         profile=profile.name,
@@ -728,8 +789,10 @@ def run_profile(
         messages=stats.messages if stats is not None else None,
         words=stats.words if stats is not None else None,
         active_node_rounds=stats.active_node_rounds if stats is not None else None,
+        net_rounds=stats.rounds if stats is not None else None,
         certification=certification,
         queries=query_block,
+        observability=_observability_block(counters_before, spans_before),
     )
 
 
@@ -747,20 +810,22 @@ def run_suite(
     """Run ``profiles`` (default: all registered) at ``tier`` in name order."""
     selected = profiles if profiles is not None else all_profiles()
     records: List[ProfileRecord] = []
-    for i, profile in enumerate(selected, start=1):
-        record = run_profile(profile, tier, certify=certify,
-                             measure_memory=measure_memory, engine=engine,
-                             certify_workers=certify_workers,
-                             certify_sample=certify_sample,
-                             queries=queries)
-        records.append(record)
-        if progress is not None:
-            status = "ok" if record.ok else "VIOLATED"
-            rounds = "-" if record.rounds is None else str(record.rounds)
-            progress(
-                f"[{i}/{len(selected)}] {profile.name:<24} n={record.n:<5} "
-                f"build {record.construction_seconds:7.3f}s  "
-                f"cert {record.certification_seconds:7.3f}s  "
-                f"rounds {rounds:>6}  {status}"
-            )
+    with obs_trace.span("harness.suite", tier=tier, profiles=len(selected)):
+        for i, profile in enumerate(selected, start=1):
+            record = run_profile(profile, tier, certify=certify,
+                                 measure_memory=measure_memory, engine=engine,
+                                 certify_workers=certify_workers,
+                                 certify_sample=certify_sample,
+                                 queries=queries)
+            records.append(record)
+            if progress is not None:
+                status = "ok" if record.ok else "VIOLATED"
+                rounds = "-" if record.rounds is None else str(record.rounds)
+                progress(
+                    f"[{i}/{len(selected)}] {profile.name:<24} "
+                    f"n={record.n:<5} "
+                    f"build {record.construction_seconds:7.3f}s  "
+                    f"cert {record.certification_seconds:7.3f}s  "
+                    f"rounds {rounds:>6}  {status}"
+                )
     return records

@@ -23,6 +23,9 @@ machine-enforces them:
   :mod:`multiprocessing` pool boundary; initializers are module-level.
 * **Typing gate** (``REP601``) — the ``mypy --strict`` packages stay
   fully annotated, enforced locally without mypy installed.
+* **Output discipline** (``REP701``) — no bare ``print(...)`` in
+  library code; stdout belongs to the CLI front-ends, library layers
+  report through :mod:`repro.obs` or return values.
 
 Violations are suppressed line-by-line with a *documented* waiver::
 

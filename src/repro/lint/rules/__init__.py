@@ -1,5 +1,21 @@
 """Rule modules; importing this package populates the registry."""
 
-from repro.lint.rules import congest, csr, iteration, pool, rng, typing_gate
+from repro.lint.rules import (
+    congest,
+    csr,
+    iteration,
+    pool,
+    prints,
+    rng,
+    typing_gate,
+)
 
-__all__ = ["congest", "csr", "iteration", "pool", "rng", "typing_gate"]
+__all__ = [
+    "congest",
+    "csr",
+    "iteration",
+    "pool",
+    "prints",
+    "rng",
+    "typing_gate",
+]

@@ -1,0 +1,48 @@
+"""Output discipline (``REP701``).
+
+Library code must not write to stdout: a ``print(...)`` buried in a
+construction or the certify engine corrupts machine-readable output
+(the JSON report a redirected ``repro bench`` writes), bypasses the
+observability spine, and cannot be asserted on.  Library layers report
+through :mod:`repro.obs` (counters, gauges, spans), return values, or
+raised exceptions; only the CLI front-ends — ``cli.py`` and
+``__main__.py`` — own the terminal.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Dict
+
+from repro.lint.context import FileContext
+from repro.lint.registry import Rule, register
+
+#: repro modules that legitimately print: the CLI front-ends.
+_ALLOWED_MODULES = frozenset({"repro.cli", "repro.__main__"})
+
+
+@register
+class PrintDiscipline(Rule):
+    """Bare ``print(...)`` is for the CLI front-ends only."""
+
+    name = "print-discipline"
+    codes: ClassVar[Dict[str, str]] = {
+        "REP701": "bare print() in library code (report via repro.obs or "
+                  "return values; printing belongs to cli.py/__main__.py)",
+    }
+
+    @classmethod
+    def applies(cls, ctx: FileContext) -> bool:
+        return ctx.in_repro_package() and ctx.module not in _ALLOWED_MODULES
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "print":
+            self.report(
+                node,
+                "REP701",
+                "bare print() in library code; report through repro.obs "
+                "(counter/gauge/span), return the value, or raise — stdout "
+                "belongs to cli.py/__main__.py",
+            )
+        self.generic_visit(node)

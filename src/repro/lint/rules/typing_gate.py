@@ -32,6 +32,7 @@ STRICT_MODULES: Tuple[str, ...] = (
     "repro.graphs",
     "repro.harness",
     "repro.lint",
+    "repro.obs",
     "repro.oracle",
 )
 

@@ -35,11 +35,14 @@ over the CSR arrays:
 from __future__ import annotations
 
 import heapq
+import time
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.graphs.csr import CSRGraph
 from repro.graphs.weighted_graph import Vertex, WeightedGraph
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry
 from repro.oracle.landmarks import STRATEGIES, landmarks_with_potentials
 
 INF = float("inf")
@@ -126,10 +129,16 @@ class DistanceOracle:
         self.seed = seed
         self.cache_size = cache_size
         self._cache: "OrderedDict[Tuple[int, int], float]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.pinched = 0  # queries answered by landmark bounds alone
-        self.searches = 0  # queries that ran the bidirectional search
+        # Per-oracle registry, not the process-wide one: two live oracles
+        # must not pool their counters, and reset_cache() must not clobber
+        # anyone else's metrics.  The harness folds this into the global
+        # registry after serving a workload (see harness/queries.py).
+        self.metrics = MetricsRegistry()
+        self._hits = self.metrics.counter("oracle.cache.hits")
+        self._misses = self.metrics.counter("oracle.cache.misses")
+        self._pinched = self.metrics.counter("oracle.query.pinched")
+        self._searches = self.metrics.counter("oracle.query.searched")
+        self._latency = self.metrics.histogram("oracle.query.latency_ms")
         self._scratch: Optional[_Scratch] = None
 
     # ------------------------------------------------------------------
@@ -295,32 +304,44 @@ class DistanceOracle:
         if ub <= lb:
             # the landmark sandwich pinches (e.g. an endpoint is a
             # landmark, or a landmark lies on a shortest path): exact
-            self.pinched += 1
+            self._pinched.inc()
             return ub
-        self.searches += 1
+        self._searches.inc()
         return self._search(s, t, lb, ub)
+
+    def _query(self, u: Vertex, v: Vertex) -> float:
+        s, t = self._index(u), self._index(v)
+        key = (s, t) if s <= t else (t, s)
+        cache = self._cache
+        hit = cache.get(key)
+        if hit is not None:
+            self._hits.inc()
+            cache.move_to_end(key)
+            return hit
+        self._misses.inc()
+        answer = self._answer(s, t)
+        cache[key] = answer
+        if len(cache) > self.cache_size:
+            cache.popitem(last=False)
+        return answer
 
     def query(self, u: Vertex, v: Vertex) -> float:
         """Exact structure distance ``d_H(u, v)`` (``inf`` across components).
+
+        While tracing is enabled, each query's wall time additionally
+        lands in the ``oracle.query.latency_ms`` histogram; the timing
+        is gated so the disabled path pays no clock reads.
 
         Raises
         ------
         ValueError
             If either endpoint is not a vertex of the served structure.
         """
-        s, t = self._index(u), self._index(v)
-        key = (s, t) if s <= t else (t, s)
-        cache = self._cache
-        hit = cache.get(key)
-        if hit is not None:
-            self.hits += 1
-            cache.move_to_end(key)
-            return hit
-        self.misses += 1
-        answer = self._answer(s, t)
-        cache[key] = answer
-        if len(cache) > self.cache_size:
-            cache.popitem(last=False)
+        if not obs_trace.enabled():
+            return self._query(u, v)
+        t0 = time.perf_counter()
+        answer = self._query(u, v)
+        self._latency.observe((time.perf_counter() - t0) * 1e3)
         return answer
 
     def query_many(self, pairs: Iterable[Tuple[Vertex, Vertex]]) -> List[float]:
@@ -371,6 +392,29 @@ class DistanceOracle:
     # ------------------------------------------------------------------
     # Cache accounting
     # ------------------------------------------------------------------
+    # The four counters live in the per-oracle metrics registry (the
+    # single vocabulary of repro.obs); these properties keep the original
+    # int attributes readable.
+    @property
+    def hits(self) -> int:
+        """Queries answered from the LRU cache."""
+        return int(self._hits.value)
+
+    @property
+    def misses(self) -> int:
+        """Queries that had to be computed."""
+        return int(self._misses.value)
+
+    @property
+    def pinched(self) -> int:
+        """Queries answered by landmark bounds alone."""
+        return int(self._pinched.value)
+
+    @property
+    def searches(self) -> int:
+        """Queries that ran the bidirectional search."""
+        return int(self._searches.value)
+
     def cache_info(self) -> Dict[str, int]:
         """Hit/miss counters plus current occupancy and capacity."""
         return {
@@ -383,9 +427,9 @@ class DistanceOracle:
         }
 
     def reset_cache(self) -> None:
-        """Drop cached answers and zero the counters (capacity kept)."""
+        """Drop cached answers and zero the metrics (capacity kept)."""
         self._cache.clear()
-        self.hits = self.misses = self.pinched = self.searches = 0
+        self.metrics.reset()
 
     # ------------------------------------------------------------------
     # Pickling: potentials travel, per-process state does not

@@ -73,6 +73,49 @@ sys.stdout.write(repr((edges, shifts, sim.rounds)))
 """,
 }
 
+#: The seeded-deterministic projection of one profile record: everything
+#: except wall-clock times, span counts and the enabled flag.  The
+#: disabled and traced scenarios must produce the *same* bytes — tracing
+#: may add spans but must never perturb seeded behavior.
+_BENCH_OBS_PROJECTION = """\
+proj = (
+    sorted(record.observability["metrics"].items()),
+    record.net_rounds,
+    record.messages,
+    record.words,
+    record.active_node_rounds,
+    record.rounds,
+    record.ok,
+)
+sys.stdout.write(repr(proj))
+"""
+
+_SCENARIOS["bench-obs-disabled"] = """\
+import sys
+
+from repro.harness.profiles import get_profile
+from repro.harness.runner import run_profile
+
+record = run_profile(
+    get_profile("congest-bfs-grid"), "smoke", measure_memory=False
+)
+""" + _BENCH_OBS_PROJECTION
+
+_SCENARIOS["bench-obs-traced"] = """\
+import sys
+
+from repro.harness.profiles import get_profile
+from repro.harness.runner import run_profile
+from repro.obs import trace as obs_trace
+
+obs_trace.enable()
+record = run_profile(
+    get_profile("congest-bfs-grid"), "smoke", measure_memory=False
+)
+tracer = obs_trace.disable()
+assert tracer is not None and tracer.span_count() > 0
+""" + _BENCH_OBS_PROJECTION
+
 
 def _run_scenario(name, hashseed):
     """Run one scenario in a fresh interpreter under ``hashseed``."""
@@ -104,6 +147,13 @@ class TestHashSeedIndependence:
     @pytest.mark.parametrize("scenario", sorted(_SCENARIOS))
     def test_identical_on_rerun(self, scenario):
         assert _run_scenario(scenario, 1) == _run_scenario(scenario, 1)
+
+    def test_tracing_does_not_perturb_seeded_behavior(self):
+        """The no-op fast path claim, end to end: a traced run and an
+        untraced run project to byte-identical deterministic records."""
+        disabled = _run_scenario("bench-obs-disabled", 1)
+        traced = _run_scenario("bench-obs-traced", 1)
+        assert disabled == traced
 
 
 class TestEnsureRng:

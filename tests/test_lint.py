@@ -367,6 +367,48 @@ class TestTypingGate:
 
 
 # ---------------------------------------------------------------------------
+# REP7xx — output discipline
+# ---------------------------------------------------------------------------
+class TestPrintDiscipline:
+    def test_print_in_library_code_is_rep701(self, tmp_path):
+        diags = lint_source(tmp_path, "src/repro/oracle/fixture.py", """\
+            def serve(x: int) -> int:
+                print("serving", x)
+                return x
+        """)
+        assert _codes(diags) == [(2, "REP701")]
+
+    def test_nested_print_is_rep701(self, tmp_path):
+        diags = lint_source(tmp_path, "src/repro/obs/fixture.py", """\
+            def report(rows: list) -> None:
+                for row in rows:
+                    print(row)
+        """)
+        assert _codes(diags) == [(3, "REP701")]
+
+    def test_cli_and_main_may_print(self, tmp_path):
+        for rel in ("src/repro/cli.py", "src/repro/__main__.py"):
+            diags = lint_source(tmp_path, rel, """\
+                print("user-facing output")
+            """)
+            assert diags == [], rel
+
+    def test_not_applied_outside_package(self, tmp_path):
+        diags = lint_source(tmp_path, "examples/demo.py", """\
+            print("scripts may print")
+        """)
+        assert diags == []
+
+    def test_method_named_print_not_flagged(self, tmp_path):
+        diags = lint_source(tmp_path, "src/repro/graphs/fixture.py", """\
+            class Report:
+                def emit(self, sink: object) -> None:
+                    sink.print(self)
+        """)
+        assert diags == []
+
+
+# ---------------------------------------------------------------------------
 # Engine: suppressions, parse errors, self-check
 # ---------------------------------------------------------------------------
 class TestSuppressions:
@@ -440,8 +482,10 @@ class TestEngine:
     def test_catalog_covers_every_family(self):
         catalog = rule_catalog()
         families = {code[:4] for code in all_codes()}
-        # engine codes (REP0xx) + five repo-specific rule families
-        assert {"REP0", "REP1", "REP2", "REP3", "REP4", "REP5", "REP6"} <= families
+        # engine codes (REP0xx) + six repo-specific rule families
+        assert {
+            "REP0", "REP1", "REP2", "REP3", "REP4", "REP5", "REP6", "REP7",
+        } <= families
         assert set(catalog) == set(all_codes())
 
     def test_repo_src_and_tests_lint_clean(self):

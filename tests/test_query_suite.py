@@ -118,8 +118,8 @@ class TestSchemaCompatibility:
                              measure_memory=False, queries=True)
         return make_report([record], suite="smoke")
 
-    def test_report_is_schema_v4(self, current):
-        assert current["schema_version"] == 4
+    def test_report_is_schema_v5(self, current):
+        assert current["schema_version"] == 5
         assert current["records"][0]["queries"] is not None
 
     def test_v1_report_loads_and_compares_without_keyerror(self, current, tmp_path):
@@ -184,7 +184,7 @@ class TestSchemaCompatibility:
 
 
 class TestQueriesCLI:
-    def test_suite_queries_writes_v4_report(self, tmp_path, capsys):
+    def test_suite_queries_writes_v5_report(self, tmp_path, capsys):
         out = tmp_path / "q.json"
         rc = main(["bench", "--suite", "queries", "--no-memory",
                    "--profile", "mst-ring-of-cliques",
@@ -194,7 +194,7 @@ class TestQueriesCLI:
         text = capsys.readouterr().out
         assert "p50" in text and "hit-rate" in text
         report = json.loads(out.read_text())
-        assert report["schema_version"] == 4
+        assert report["schema_version"] == 5
         assert all(r["queries"] for r in report["records"])
 
     def test_queries_flag_on_a_tier_suite(self, tmp_path, capsys):
@@ -210,5 +210,10 @@ class TestQueriesCLI:
         args = ["bench", "--suite", "queries", "--no-memory",
                 "--profile", "mst-ring-of-cliques"]
         assert main(args + ["--out", str(out)]) == 0
-        assert main(args + ["--compare", str(out)]) == 0
+        # query_qps gates wall clock over a ~millisecond serving window,
+        # so one scheduler hiccup on a busy runner can halve it; a single
+        # retry absorbs that while a real regression still fails twice.
+        if main(args + ["--compare", str(out)]) != 0:
+            capsys.readouterr()
+            assert main(args + ["--compare", str(out)]) == 0
         assert "PASS" in capsys.readouterr().out
