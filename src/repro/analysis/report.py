@@ -86,6 +86,7 @@ def spanner_report(
     certify_workers: int = 1,
     certify_sample: Optional[float] = None,
     certify_seed: int = 0,
+    certify_kernel: str = "python",
 ) -> QualityReport:
     """Report for a spanner: stretch, lightness, size (+ optional rounds).
 
@@ -94,7 +95,9 @@ def spanner_report(
     either way).  ``certify_workers > 1`` fans sources across processes;
     ``certify_sample=p`` certifies a seeded ``p``-fraction of the edges
     (then the stretch row is a lower bound and the report's
-    ``certification`` block records ``mode="sampled"``).
+    ``certification`` block records ``mode="sampled"``);
+    ``certify_kernel`` selects the SSSP backend the engine searches with
+    (see :mod:`repro.kernels`).
 
     Raises
     ------
@@ -106,6 +109,7 @@ def spanner_report(
     cert = certify_edge_stretch(
         graph, spanner, bound=stretch_bound,
         workers=certify_workers, sample=certify_sample, seed=certify_seed,
+        kernel=certify_kernel,
     )
     rows = [
         MetricRow("stretch", cert.max_stretch, stretch_bound),

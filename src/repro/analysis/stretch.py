@@ -44,6 +44,7 @@ def max_edge_stretch(
     spanner: WeightedGraph,
     bound: Optional[float] = None,
     workers: int = 1,
+    kernel: str = "python",
 ) -> float:
     """``max_{e={u,v} ∈ E(G)} d_H(u, v) / w(e)``.
 
@@ -58,10 +59,11 @@ def max_edge_stretch(
     (each one a certified violation — the ``fail_fast`` early-reject
     that :func:`~repro.analysis.validation.verify_spanner` uses) without
     giving up the exact answer.  ``workers > 1`` fans the sources out
-    across processes.
+    across processes; ``kernel="numpy"`` runs the per-source searches on
+    the batched matrix kernel instead (see :mod:`repro.kernels`).
     """
     return certify_edge_stretch(
-        graph, spanner, bound=bound, workers=workers
+        graph, spanner, bound=bound, workers=workers, kernel=kernel
     ).max_stretch
 
 

@@ -9,6 +9,7 @@ doubling    build the §7 doubling-graph spanner
 estimate    run the §8 MST-weight estimation
 generate    write a workload graph to a file
 bench       run the profile-driven benchmark harness (repro.harness)
+graph       pack / inspect the mmap binary graph format (repro.kernels)
 oracle      build / query a pickled distance oracle (repro.oracle)
 lint        run the determinism & contract analyzer (repro.lint)
 trace       summarize a JSONL span trace (repro.obs)
@@ -155,6 +156,42 @@ def cmd_estimate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_graph_pack(args: argparse.Namespace) -> int:
+    import os
+    import time
+
+    from repro.kernels import pack_ring_chords
+
+    t0 = time.perf_counter()
+    pack_ring_chords(args.out, args.n, args.chords, args.seed)
+    pack_s = time.perf_counter() - t0
+    size = os.path.getsize(args.out)
+    print(f"family      ring-chords  n={args.n}  chords={args.chords}  "
+          f"seed={args.seed}")
+    print(f"packed in   {pack_s:.3f}s")
+    print(f"wrote {size} bytes to {args.out}")
+    return 0
+
+
+def cmd_graph_load(args: argparse.Namespace) -> int:
+    from repro.kernels import PackedFormatError, load_packed
+
+    try:
+        with load_packed(args.path, verify=not args.no_verify) as pg:
+            print(f"file        {pg.path}")
+            print(f"vertices    {pg.n}")
+            print(f"arcs        {pg.m_arcs}  ({pg.m_arcs // 2} undirected edges)")
+            print(f"payload     {pg.payload_size} bytes")
+            print(f"checksum    {'skipped' if args.no_verify else 'ok'}")
+    except PackedFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def cmd_oracle_build(args: argparse.Namespace) -> int:
     import pickle
     import time
@@ -259,6 +296,46 @@ def cmd_trace_summarize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_huge(args: argparse.Namespace) -> int:
+    """``repro bench --suite huge``: the mmap-backed huge tier."""
+    from repro import harness
+
+    if args.profiles:
+        try:
+            selected = [harness.get_profile(name) for name in args.profiles]
+        except KeyError as exc:
+            raise SystemExit(f"error: {exc.args[0]}") from None
+    else:
+        selected = harness.huge_profiles()
+    kernel = args.kernel or "auto"
+    print(f"running {len(selected)} huge profile(s) (kernel {kernel!r})")
+    records = []
+    for i, profile in enumerate(selected, start=1):
+        try:
+            record = harness.run_huge_profile(profile, kernel=kernel)
+        except (KeyError, ValueError, RuntimeError) as exc:
+            raise SystemExit(f"error: {exc}") from exc
+        records.append(record)
+        status = "ok" if record.ok else "VIOLATED"
+        print(
+            f"[{i}/{len(selected)}] {profile.name:<24} "
+            f"n={record.n:<8} "
+            f"pack {record.generation_seconds:7.3f}s  "
+            f"sssp {record.construction_seconds:7.3f}s  "
+            f"cert {record.certification_seconds:7.3f}s  {status}"
+        )
+    violated = [r.profile for r in records if not r.ok]
+    rc = 0
+    if violated:
+        print(f"QUALITY VIOLATED: {', '.join(violated)}")
+        rc = 1
+    report = harness.make_report(records, suite="huge", tag=args.tag)
+    if args.out:
+        harness.write_report(report, args.out)
+        print(f"wrote {len(records)} record(s) to {args.out}")
+    return rc
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     # imported lazily so the file-based commands stay snappy
     from repro import harness
@@ -270,10 +347,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
             print(f"{'':<26} {p.description}")
         return 0
 
+    if args.suite == "huge":
+        return _bench_huge(args)
+
     # --suite is a size tier, or a named group: "congest" (the CONGEST
-    # profiles at smoke sizes — CI's congest-smoke job) or "queries"
+    # profiles at smoke sizes — CI's congest-smoke job), "queries"
     # (every oracle-servable profile at smoke sizes with the query
-    # workload enabled — CI's oracle-smoke job)
+    # workload enabled — CI's oracle-smoke job) or "huge" (the
+    # mmap-backed kernel profiles, handled above)
     queries = args.queries
     if args.suite == "congest":
         tier, default_selection = "smoke", harness.congest_profiles()
@@ -308,6 +389,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             certify_workers=args.certify_workers,
             certify_sample=args.certify_sample,
             queries=queries,
+            kernel=args.kernel or "python",
         )
     finally:
         if tracer is not None:
@@ -431,12 +513,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="run only this profile (repeatable; default: all)",
     )
     p.add_argument(
-        "--suite", choices=["smoke", "table1", "stress", "congest", "queries"],
+        "--suite",
+        choices=["smoke", "table1", "stress", "congest", "queries", "huge"],
         default="smoke",
         help="size tier to run, or a named group: 'congest' (CONGEST-layer "
              "profiles at smoke sizes) / 'queries' (oracle-servable "
-             "profiles at smoke sizes with the query workload on) "
+             "profiles at smoke sizes with the query workload on) / "
+             "'huge' (10^6+-vertex kernel profiles served from the "
+             "packed mmap format; kernel defaults to 'auto') "
              "(default: smoke)",
+    )
+    p.add_argument(
+        "--kernel", choices=["python", "numpy", "auto"], default=None,
+        help="SSSP backend for kernel profiles and spanner certification "
+             "(repro.kernels; default: python, or auto for --suite huge)",
     )
     p.add_argument(
         "--queries", action="store_true",
@@ -476,6 +566,36 @@ def build_parser() -> argparse.ArgumentParser:
                         "write it as JSONL (one span per line; inspect with "
                         "'repro trace summarize')")
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "graph",
+        help="pack / inspect the versioned mmap binary graph format "
+             "(repro.kernels)",
+    )
+    graph_sub = p.add_subparsers(dest="graph_command", required=True)
+
+    p = graph_sub.add_parser(
+        "pack",
+        help="stream a generated family into a .rpg file "
+             "(CSR columns, little-endian, CRC-stamped)",
+    )
+    p.add_argument("--family", choices=["ring-chords"], default="ring-chords",
+                   help="graph family (only ring-chords streams today)")
+    p.add_argument("--n", type=int, required=True, help="vertex count")
+    p.add_argument("--chords", type=int, default=4,
+                   help="chord offsets per vertex (default: 4)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True, help="output .rpg file")
+    p.set_defaults(fn=cmd_graph_pack)
+
+    p = graph_sub.add_parser(
+        "load", help="open a .rpg file via mmap and print its header"
+    )
+    p.add_argument("path", help=".rpg file written by 'repro graph pack'")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip the CRC32 payload pass (size/magic/version "
+                        "checks still run)")
+    p.set_defaults(fn=cmd_graph_load)
 
     p = sub.add_parser(
         "oracle",

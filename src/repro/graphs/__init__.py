@@ -33,6 +33,9 @@ from repro.graphs.generators import (
     power_law_graph,
     random_regular_graph,
     barbell_graph,
+    ring_chord_offsets,
+    ring_chord_weight,
+    ring_chords_graph,
 )
 from repro.graphs.lower_bound_family import das_sarma_hard_graph
 from repro.graphs.doubling import (
@@ -67,6 +70,9 @@ __all__ = [
     "power_law_graph",
     "random_regular_graph",
     "barbell_graph",
+    "ring_chord_offsets",
+    "ring_chord_weight",
+    "ring_chords_graph",
     "das_sarma_hard_graph",
     "doubling_dimension_estimate",
     "ball",

@@ -355,6 +355,83 @@ def barbell_graph(clique_size: int, path_length: int, clique_weight: float = 1.0
     return g
 
 
+_MASK64 = (1 << 64) - 1
+_RC_MIX1 = 0xBF58476D1CE4E5B9
+_RC_MIX2 = 0x94D049BB133111EB
+_RC_U = 0xC2B2AE3D27D4EB4F
+_RC_V = 0x165667B19E3779F9
+
+
+def _splitmix64(z: int) -> int:
+    """Finalizer of the splitmix64 generator (pure 64-bit avalanche)."""
+    z = ((z ^ (z >> 30)) * _RC_MIX1) & _MASK64
+    z = ((z ^ (z >> 27)) * _RC_MIX2) & _MASK64
+    return z ^ (z >> 31)
+
+
+def ring_chord_weight(seed: int, u: int, v: int) -> float:
+    """Weight of ring-chords edge ``{u, v}``: a pure function in [1, 2).
+
+    Hashing ``(seed, min, max)`` instead of drawing from an RNG stream
+    is what lets :mod:`repro.kernels.genpack` stream the identical
+    graph straight to disk in any vertex order, without replaying a
+    generator state.  The numpy packer replicates this arithmetic in
+    wrapping uint64, bit-for-bit.
+    """
+    a, b = (u, v) if u <= v else (v, u)
+    z = ((seed & _MASK64) ^ ((a * _RC_U + b * _RC_V) & _MASK64)) & _MASK64
+    return 1.0 + _splitmix64(z) / 2.0**64
+
+
+def ring_chord_offsets(n: int, chords: int) -> Tuple[int, ...]:
+    """The canonical neighbour-offset set of the ring-chords family.
+
+    Offsets are residues mod ``n``: the ring (``±1``) plus ``chords``
+    strides spread geometrically from ``isqrt(n)`` (clamped to
+    ``[2, n//2]``), each contributing both directions.  Every vertex
+    ``i`` is adjacent to exactly ``{(i + o) % n}`` over these offsets,
+    so the degree is uniformly ``len(offsets)`` — which is what lets
+    the packer precompute ``indptr`` as a flat stride.
+    """
+    if n < 5:
+        raise ValueError("ring-chords needs at least 5 vertices")
+    if chords < 0:
+        raise ValueError("chords must be >= 0")
+    offsets = {1, n - 1}
+    stride = max(2, math.isqrt(n))
+    for _ in range(chords):
+        s = min(stride, n // 2)
+        while (s in offsets or (n - s) in offsets) and s < n // 2:
+            s += 1
+        if s in offsets or (n - s) in offsets:
+            break  # n too small to fit another distinct stride
+        offsets.add(s)
+        offsets.add(n - s)
+        stride = stride * 2 + 1
+    return tuple(sorted(offsets))
+
+
+def ring_chords_graph(n: int, chords: int = 2, seed: int = 0) -> WeightedGraph:
+    """Deterministic ring + geometric chord strides (the ``huge``-tier family).
+
+    A weighted ring with ``chords`` extra strides near ``sqrt(n)``
+    keeps the hop diameter at ``O(sqrt(n))`` while staying
+    constant-degree — the regime where frontier-relaxation kernels
+    shine.  A pure function of ``(n, chords, seed)``: the streamed
+    binary packer produces the identical CSR without ever building
+    this object, and ``tests/test_kernels.py`` holds the two to exact
+    parity.
+    """
+    offsets = ring_chord_offsets(n, chords)
+    g = WeightedGraph(range(n))
+    for u in range(n):
+        for o in offsets:
+            v = (u + o) % n
+            if u < v:
+                g.add_edge(u, v, ring_chord_weight(seed, u, v))
+    return g
+
+
 def ring_of_cliques(
     num_cliques: int, clique_size: int, intra_weight: float = 1.0, inter_weight: float = 50.0
 ) -> WeightedGraph:

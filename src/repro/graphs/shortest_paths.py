@@ -104,6 +104,7 @@ def dijkstra(
     graph: GraphLike,
     sources: Iterable[Vertex] | Vertex,
     weight_override: Optional[Dict[Tuple[Vertex, Vertex], float]] = None,
+    kernel: str = "python",
 ) -> Tuple[Dict[Vertex, float], Dict[Vertex, Optional[Vertex]]]:
     """Multi-source Dijkstra.
 
@@ -119,6 +120,12 @@ def dijkstra(
         Optional map from canonical edges to replacement weights.  A
         falsy override (``None`` *or* an empty dict) overrides nothing,
         so both take the indexed CSR fast path.
+    kernel:
+        SSSP backend: ``"python"`` (default), ``"numpy"``, or ``"auto"``
+        — resolved by :mod:`repro.kernels`.  Distances agree to 1e-9
+        across backends; parent choices may differ on equal-length ties
+        (both are witness shortest paths).  Ignored with a
+        ``weight_override`` (the dict path has no CSR to hand a kernel).
 
     Returns
     -------
@@ -138,8 +145,38 @@ def dijkstra(
         # every later call on the same graph rides the indexed fast path
         if isinstance(graph, WeightedGraph):
             graph = graph.freeze()
+        if kernel != "python":
+            return _kernel_dijkstra(graph, sources, kernel)
         return _csr_dijkstra(graph, sources)
     return _dict_dijkstra(graph, sources, weight_override)
+
+
+def _kernel_dijkstra(
+    csr: CSRGraph, sources: Iterable[Vertex] | Vertex, kernel: str
+) -> Tuple[Dict[Vertex, float], Dict[Vertex, Optional[Vertex]]]:
+    """:func:`_csr_dijkstra` through the :mod:`repro.kernels` dispatch.
+
+    The kernels layer works on raw CSR columns and dense indices; this
+    wrapper owns the label translation on both sides, so the public
+    dict-shaped contract is identical for every backend.
+    """
+    from repro.kernels import sssp as kernel_sssp
+
+    sources = _normalize_sources(csr, sources)
+    dist, parent = kernel_sssp(
+        csr.indptr, csr.indices, csr.weights,
+        [csr.index_of(s) for s in sources], kernel=kernel,
+    )
+    verts = csr.verts
+    out_dist: Dict[Vertex, float] = {}
+    out_parent: Dict[Vertex, Optional[Vertex]] = {}
+    for i in range(csr.n):
+        p = parent[i]
+        if p == -2:
+            continue
+        out_dist[verts[i]] = dist[i]
+        out_parent[verts[i]] = None if p == -1 else verts[p]
+    return out_dist, out_parent
 
 
 def _dict_dijkstra(

@@ -17,11 +17,13 @@ Entry point: ``python -m repro bench`` (see :mod:`repro.cli`).
 
 from repro.harness.profiles import (
     FAMILIES,
+    HUGE_TIER,
     TIERS,
     Profile,
     all_profiles,
     congest_profiles,
     get_profile,
+    huge_profiles,
     profile_names,
     register,
 )
@@ -35,12 +37,14 @@ from repro.harness.runner import (
     ALGORITHMS,
     CONGEST_ALGORITHMS,
     ENGINES,
+    KERNEL_ALGORITHMS,
     QUERYABLE_ALGORITHMS,
     SPANNER_CERTIFIED_ALGORITHMS,
     STRUCTURE_EXTRACTORS,
     NetStats,
     ProfileRecord,
     queryable_profiles,
+    run_huge_profile,
     run_profile,
     run_suite,
 )
@@ -59,11 +63,13 @@ from repro.harness.results import (
 
 __all__ = [
     "FAMILIES",
+    "HUGE_TIER",
     "TIERS",
     "Profile",
     "all_profiles",
     "congest_profiles",
     "get_profile",
+    "huge_profiles",
     "profile_names",
     "register",
     "QUERY_MIXES",
@@ -73,12 +79,14 @@ __all__ = [
     "ALGORITHMS",
     "CONGEST_ALGORITHMS",
     "ENGINES",
+    "KERNEL_ALGORITHMS",
     "QUERYABLE_ALGORITHMS",
     "SPANNER_CERTIFIED_ALGORITHMS",
     "STRUCTURE_EXTRACTORS",
     "NetStats",
     "ProfileRecord",
     "queryable_profiles",
+    "run_huge_profile",
     "run_profile",
     "run_suite",
     "SCHEMA_NAME",

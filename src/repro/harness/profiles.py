@@ -37,12 +37,19 @@ from repro.graphs import (
     hypercube_graph,
     power_law_graph,
     random_geometric_graph,
+    ring_chords_graph,
     ring_of_cliques,
     star_graph,
 )
 
-#: The mandatory size tiers, smallest first.
+#: The mandatory size tiers, smallest first.  A profile may define extra
+#: tiers beyond these; ``"huge"`` (10^6–10^7 nodes, served by the packed
+#: mmap format via :func:`repro.harness.runner.run_huge_profile`) is the
+#: convention for sizes only the array kernels can touch.
 TIERS: Tuple[str, ...] = ("smoke", "table1", "stress")
+
+#: the optional out-of-band tier name the huge-scale runner looks for.
+HUGE_TIER = "huge"
 
 
 def _seedless(builder: Callable[..., WeightedGraph]) -> Callable[..., WeightedGraph]:
@@ -70,6 +77,7 @@ FAMILIES: Dict[str, Callable[..., WeightedGraph]] = {
     "star": _seedless(star_graph),
     "caterpillar": _seedless(caterpillar_graph),
     "ring-of-cliques": _seedless(ring_of_cliques),
+    "ring-chords": ring_chords_graph,
 }
 
 
@@ -183,6 +191,11 @@ def congest_profiles() -> List[Profile]:
     a new node program is picked up automatically.
     """
     return [p for p in all_profiles() if p.algorithm.startswith("congest-")]
+
+
+def huge_profiles() -> List[Profile]:
+    """Profiles defining the optional huge tier (``--suite huge``)."""
+    return [p for p in all_profiles() if HUGE_TIER in p.tiers]
 
 
 # ---------------------------------------------------------------------------
@@ -408,6 +421,29 @@ register(Profile(
         "smoke": {"num_cliques": 4, "clique_size": 5},
         "table1": {"num_cliques": 8, "clique_size": 8},
         "stress": {"num_cliques": 16, "clique_size": 16},
+    },
+))
+
+register(Profile(
+    name="kernel-sssp-ring",
+    description="batched SSSP + fixed-point residual certification on the "
+                "ring-chords family (the repro.kernels showcase; its huge "
+                "tier runs from the packed mmap format)",
+    section="substrate",
+    family="ring-chords",
+    algorithm="kernel-sssp",
+    params={"kernel": "python", "sources": 4},
+    seed=0,
+    tiers={
+        "smoke": {"n": 400, "chords": 3},
+        "table1": {"n": 5_000, "chords": 4},
+        "stress": {"n": 60_000, "chords": 5},
+        HUGE_TIER: {"n": 1_000_000, "chords": 6},
+    },
+    tier_params={
+        "table1": {"sources": 6},
+        "stress": {"sources": 8},
+        HUGE_TIER: {"sources": 8},
     },
 ))
 

@@ -43,7 +43,7 @@ from repro.core.light_spanner import _case1_clusters
 from repro.core.slt import _select_break_points
 from repro.graphs import WeightedGraph
 from repro.graphs.weighted_graph import Vertex
-from repro.harness.profiles import Profile, all_profiles
+from repro.harness.profiles import HUGE_TIER, Profile, all_profiles
 from repro.harness.queries import QUERY_MIXES, run_query_workload
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
@@ -94,6 +94,7 @@ def _spanner_cert_kwargs(params: Params) -> Dict[str, Any]:
     return {
         "certify_workers": params.get("certify_workers", 1),
         "certify_sample": params.get("certify_sample"),
+        "certify_kernel": params.get("certify_kernel", "python"),
     }
 
 
@@ -202,6 +203,49 @@ def _certify_greedy_spanner(graph: WeightedGraph, spanner: Any, params: Params) 
         graph, spanner, stretch_bound=2 * params["k"] - 1,
         **_spanner_cert_kwargs(params),
     )
+
+
+def _kernel_sources(n: int, count: int) -> List[int]:
+    """``count`` evenly spread dense source indices (deterministic)."""
+    count = max(1, min(count, n))
+    return [(k * n) // count for k in range(count)]
+
+
+def _build_kernel_sssp(
+    graph: WeightedGraph, params: Params, rng: random.Random
+) -> Tuple[Any, Optional[int]]:
+    from repro.kernels import sssp_matrix
+
+    csr = graph.freeze()
+    sources = _kernel_sources(csr.n, int(params.get("sources", 4)))
+    matrix = sssp_matrix(
+        csr.indptr, csr.indices, csr.weights, sources,
+        kernel=str(params.get("kernel", "python")),
+    )
+    return (csr, sources, matrix), None
+
+
+def _certify_kernel_sssp(
+    graph: WeightedGraph, artifact: Any, params: Params
+) -> QualityReport:
+    # fixed-point certificate: residual 0 + no finite-tail/inf-head arcs
+    # means every relaxation-built row is exact (see repro.kernels.pykern)
+    from repro.kernels import residual
+
+    csr, sources, matrix = artifact
+    kern = str(params.get("kernel", "python"))
+    worst = 0.0
+    unsettled = 0
+    for row in matrix:
+        w, u = residual(csr.indptr, csr.indices, csr.weights, row, kernel=kern)
+        worst = max(worst, w)
+        unsettled += u
+    rows = [
+        MetricRow("residual", worst, 1e-6),
+        MetricRow("unsettled-arcs", float(unsettled), 0.0),
+        MetricRow("sources", float(len(sources))),
+    ]
+    return QualityReport(title="kernel sssp", rows=rows)
 
 
 def _build_mst(
@@ -437,6 +481,7 @@ ALGORITHMS: Dict[str, Tuple[BuildFn, CertifyFn]] = {
     "baswana-sen": (_build_baswana_sen, _certify_baswana_sen),
     "elkin-neiman": (_build_elkin_neiman, _certify_elkin_neiman),
     "greedy-spanner": (_build_greedy_spanner, _certify_greedy_spanner),
+    "kernel-sssp": (_build_kernel_sssp, _certify_kernel_sssp),
     "mst": (_build_mst, _certify_mst),
     "congest-bfs": (_build_congest_bfs, _certify_congest_bfs),
     "congest-broadcast": (_build_congest_broadcast, _certify_congest_broadcast),
@@ -465,6 +510,10 @@ SPANNER_CERTIFIED_ALGORITHMS = frozenset(
     {"light-spanner", "doubling-spanner", "baswana-sen",
      "elkin-neiman", "greedy-spanner"}
 )
+
+#: algorithms that execute on the repro.kernels SSSP backends and honour
+#: ``run_profile(kernel=...)`` directly (not just for certification).
+KERNEL_ALGORITHMS = frozenset({"kernel-sssp"})
 
 # artifact -> the weighted structure a distance oracle can serve.  Keyed
 # by algorithm because each build returns a differently-shaped artifact;
@@ -651,6 +700,7 @@ def run_profile(
     certify_workers: int = 1,
     certify_sample: Optional[float] = None,
     queries: bool = False,
+    kernel: str = "python",
 ) -> ProfileRecord:
     """Execute ``profile`` at ``tier`` and return its record.
 
@@ -685,6 +735,14 @@ def run_profile(
     percentiles, throughput and the cache hit/miss split; profiles whose
     algorithm produces no servable structure ignore the flag.
 
+    ``kernel`` selects the SSSP backend (:mod:`repro.kernels`) for the
+    profiles that honour one: ``kernel-sssp`` profiles run their batched
+    SSSP on it, and spanner-certified profiles hand it to the
+    certification engine as ``certify_kernel``.  The default
+    ``"python"`` keeps every committed baseline byte-stable; passing
+    ``"numpy"``/``"auto"`` is the explicit opt-in (stamped into the
+    record's params so reports are attributable).
+
     Raises
     ------
     KeyError
@@ -707,6 +765,10 @@ def run_profile(
         params["certify_workers"] = certify_workers
         if certify_sample is not None:
             params["certify_sample"] = certify_sample
+        if kernel != "python":
+            params["certify_kernel"] = kernel
+    if profile.algorithm in KERNEL_ALGORITHMS and kernel != "python":
+        params["kernel"] = kernel
     if tier == "stress" and not profile.certifiable:
         certify = False
 
@@ -806,6 +868,7 @@ def run_suite(
     certify_workers: int = 1,
     certify_sample: Optional[float] = None,
     queries: bool = False,
+    kernel: str = "python",
 ) -> List[ProfileRecord]:
     """Run ``profiles`` (default: all registered) at ``tier`` in name order."""
     selected = profiles if profiles is not None else all_profiles()
@@ -816,7 +879,7 @@ def run_suite(
                                  measure_memory=measure_memory, engine=engine,
                                  certify_workers=certify_workers,
                                  certify_sample=certify_sample,
-                                 queries=queries)
+                                 queries=queries, kernel=kernel)
             records.append(record)
             if progress is not None:
                 status = "ok" if record.ok else "VIOLATED"
@@ -829,3 +892,127 @@ def run_suite(
                     f"rounds {rounds:>6}  {status}"
                 )
     return records
+
+
+def run_huge_profile(
+    profile: Profile,
+    kernel: str = "auto",
+    verify: bool = True,
+    cache_dir: Optional[str] = None,
+) -> ProfileRecord:
+    """Run ``profile``'s huge tier straight from the packed mmap format.
+
+    The huge tier (10^6+ vertices) never materializes a
+    :class:`WeightedGraph` — the workload is generated once into the
+    versioned ``.rpg`` binary format (cached under ``cache_dir``, see
+    :func:`repro.kernels.ensure_packed`), mmapped back as zero-copy CSR
+    columns, and fed to the batched SSSP kernels directly.  The record's
+    generation time therefore covers pack-or-cache-hit, construction the
+    batched SSSP, and certification the fixed-point residual check
+    (residual 0 and no unsettled arcs certify every distance row exact).
+
+    ``kernel`` defaults to ``"auto"`` — numpy when available, else the
+    pure-Python kernel (slow at this scale, but correct).  ``verify``
+    controls the CRC pass on load.
+
+    Raises
+    ------
+    KeyError
+        When ``profile`` does not define a huge tier.
+    ValueError
+        When the profile's family has no streaming packer.
+    RuntimeError
+        When ``kernel="numpy"`` and numpy is not installed.
+    """
+    from repro.kernels import ensure_packed, load_packed, resolve_kernel
+
+    if HUGE_TIER not in profile.tiers:
+        raise KeyError(
+            f"profile {profile.name!r} does not define a {HUGE_TIER!r} tier"
+        )
+    if profile.family != "ring-chords":
+        raise ValueError(
+            f"no streaming packer for family {profile.family!r}; the huge "
+            f"tier currently runs the ring-chords family only"
+        )
+    gp = profile.graph_params(HUGE_TIER)
+    n, chords = int(gp["n"]), int(gp["chords"])  # type: ignore[arg-type]
+    params = profile.algo_params(HUGE_TIER)
+    backend = resolve_kernel(kernel)
+    params["kernel"] = backend
+
+    counters_before = obs_metrics.scalars()
+    spans_before = obs_trace.span_count()
+    profile_span = obs_trace.span(
+        "harness.profile", profile=profile.name, tier=HUGE_TIER, kernel=backend
+    )
+    profile_span.__enter__()
+    try:
+        with obs_trace.timed_span("harness.generate") as t_gen:
+            path = ensure_packed(n, chords, profile.seed, cache_dir=cache_dir)
+            pg = load_packed(path, verify=verify)
+        generation_seconds = t_gen.wall_s
+        try:
+            sources = _kernel_sources(pg.n, int(params.get("sources", 4)))
+            if backend == "numpy":
+                from repro.kernels import npkern
+
+                with obs_trace.timed_span("harness.build") as t_build:
+                    prep = npkern.prepare(pg.indptr, pg.indices, pg.weights)
+                    matrix = npkern.sssp_matrix_prepared(prep, sources)
+                with obs_trace.timed_span("harness.certify") as t_cert:
+                    worst, unsettled = npkern.residual_matrix_prepared(
+                        prep, matrix
+                    )
+            else:
+                from repro.kernels import pykern
+
+                with obs_trace.timed_span("harness.build") as t_build:
+                    py_matrix = pykern.sssp_matrix(
+                        pg.indptr, pg.indices, pg.weights, sources
+                    )
+                with obs_trace.timed_span("harness.certify") as t_cert:
+                    worst, unsettled = 0.0, 0
+                    for row in py_matrix:
+                        w, u = pykern.residual(
+                            pg.indptr, pg.indices, pg.weights, row
+                        )
+                        worst = max(worst, w)
+                        unsettled += u
+            n_packed, m_arcs = pg.n, pg.m_arcs
+        finally:
+            pg.close()
+    finally:
+        profile_span.__exit__(None, None, None)
+
+    report = QualityReport(title="kernel sssp (huge)", rows=[
+        MetricRow("residual", worst, 1e-6),
+        MetricRow("unsettled-arcs", float(unsettled), 0.0),
+        MetricRow("sources", float(len(sources))),
+    ])
+    return ProfileRecord(
+        profile=profile.name,
+        tier=HUGE_TIER,
+        family=profile.family,
+        algorithm=profile.algorithm,
+        section=profile.section,
+        seed=profile.seed,
+        params=params,
+        n=n_packed,
+        m=m_arcs // 2,
+        generation_seconds=generation_seconds,
+        construction_seconds=t_build.wall_s,
+        certification_seconds=t_cert.wall_s,
+        peak_memory_bytes=None,
+        rounds=None,
+        metrics=_report_metrics(report),
+        ok=report.ok,
+        certification={
+            "mode": "fixed-point",
+            "kernel": backend,
+            "sources": len(sources),
+            "unsettled_arcs": unsettled,
+            "packed_file": str(path),
+        },
+        observability=_observability_block(counters_before, spans_before),
+    )

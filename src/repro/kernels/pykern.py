@@ -1,0 +1,121 @@
+"""Pure-Python SSSP kernel over raw CSR arrays.
+
+This is the always-available fallback behind ``kernel="python"``: a
+binary-heap Dijkstra that operates directly on the three frozen CSR
+arrays — ``indptr``/``indices``/``weights`` — without touching vertex
+labels or any :class:`~repro.graphs.weighted_graph.WeightedGraph`
+machinery.  Because it only *indexes* its inputs, it accepts Python
+lists, ``array('d')`` columns from :class:`~repro.graphs.csr.CSRGraph`,
+and the ``memoryview`` columns an mmap-ed
+:class:`~repro.kernels.binfmt.PackedGraph` exposes, all interchangeably.
+
+Cap contract (shared with :mod:`repro.kernels.npkern`): with a finite
+``cap``, every vertex whose true distance is ``<= cap`` is settled
+exactly; entries beyond the cap are either valid upper bounds or
+``inf`` — callers must not read them as exact.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Sequence, Tuple
+
+INF = float("inf")
+
+#: parent-array sentinels, matching ``shortest_paths._csr_dijkstra``
+PARENT_SOURCE = -1
+PARENT_UNREACHED = -2
+
+
+def sssp(
+    indptr: Sequence[int],
+    indices: Sequence[int],
+    weights: Sequence[float],
+    sources: Sequence[int],
+    cap: Optional[float] = None,
+) -> Tuple[List[float], List[int]]:
+    """One SSSP run with every vertex of ``sources`` at distance 0.
+
+    Returns flat ``(dist, parent)`` lists of length ``n``; ``parent[v]``
+    is ``-1`` for sources, ``-2`` for unreached vertices, else the
+    predecessor index on a shortest path.  Duplicate sources are
+    harmless.
+    """
+    n = len(indptr) - 1
+    dist: List[float] = [INF] * n
+    parent: List[int] = [PARENT_UNREACHED] * n
+    heap: List[Tuple[float, int]] = []
+    for s in sources:
+        if dist[s] != 0.0:
+            dist[s] = 0.0
+            parent[s] = PARENT_SOURCE
+            heap.append((0.0, s))
+    heapq.heapify(heap)
+    pop, push = heapq.heappop, heapq.heappush
+    while heap:
+        d, u = pop(heap)
+        if d > dist[u]:
+            continue
+        if cap is not None and d > cap:
+            break  # all vertices with true dist <= cap are already settled
+        for e in range(indptr[u], indptr[u + 1]):
+            v = indices[e]
+            nd = d + weights[e]
+            if nd < dist[v]:
+                dist[v] = nd
+                parent[v] = u
+                push(heap, (nd, v))
+    return dist, parent
+
+
+def sssp_matrix(
+    indptr: Sequence[int],
+    indices: Sequence[int],
+    weights: Sequence[float],
+    sources: Sequence[int],
+    caps: Optional[Sequence[Optional[float]]] = None,
+) -> List[List[float]]:
+    """Batched SSSP: one distance row per source.
+
+    The fallback simply loops single-source runs; the numpy kernel
+    settles all rows in one array-level pass.  ``caps[k]`` bounds row
+    ``k`` under the shared cap contract (``None`` = unbounded).
+    """
+    rows: List[List[float]] = []
+    for k, s in enumerate(sources):
+        cap = caps[k] if caps is not None else None
+        rows.append(sssp(indptr, indices, weights, (s,), cap)[0])
+    return rows
+
+
+def residual(
+    indptr: Sequence[int],
+    indices: Sequence[int],
+    weights: Sequence[float],
+    dist: Sequence[float],
+) -> Tuple[float, int]:
+    """Fixed-point residual of one distance row.
+
+    Returns ``(max_violation, unsettled_arcs)``: the largest positive
+    ``dist[v] - (dist[u] + w(u,v))`` over arcs with both endpoints
+    finite, and the number of arcs whose tail is finite but whose head
+    is still ``inf``.  ``(0.0, 0)`` certifies ``dist`` as a
+    Bellman-Ford fixed point — which, for relaxation-built rows (every
+    finite entry is witnessed by a real path), means the row is exact.
+    """
+    worst = 0.0
+    unsettled = 0
+    n = len(indptr) - 1
+    for u in range(n):
+        du = dist[u]
+        if du == INF:
+            continue
+        for e in range(indptr[u], indptr[u + 1]):
+            dv = dist[indices[e]]
+            if dv == INF:
+                unsettled += 1
+                continue
+            violation = dv - du - weights[e]
+            if violation > worst:
+                worst = violation
+    return worst, unsettled

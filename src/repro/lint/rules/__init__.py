@@ -4,6 +4,7 @@ from repro.lint.rules import (
     congest,
     csr,
     iteration,
+    numpy_isolation,
     pool,
     prints,
     rng,
@@ -14,6 +15,7 @@ __all__ = [
     "congest",
     "csr",
     "iteration",
+    "numpy_isolation",
     "pool",
     "prints",
     "rng",

@@ -1,0 +1,62 @@
+"""numpy containment (``REP801``).
+
+numpy is an *optional* accelerator, not a dependency: the whole suite
+must run on a bare standard-library interpreter, so every ``import
+numpy`` lives behind :mod:`repro.kernels`' guarded dispatch
+(:func:`repro.kernels.dispatch.numpy_or_none`).  A numpy import in any
+other ``repro`` module — even inside a function — would turn the
+accelerator into a hard dependency of that layer the first time the
+code path runs on a numpy-less host.  Consumers select a backend by
+passing ``kernel="numpy"`` through the public kernel entry points
+instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Dict
+
+from repro.lint.context import FileContext
+from repro.lint.registry import Rule, register
+
+#: The only package allowed to import numpy (behind its import guard).
+_KERNELS_PACKAGE = "repro.kernels"
+
+_MESSAGE = (
+    "import of numpy outside repro.kernels; numpy is an optional "
+    "accelerator reached through the guarded kernel dispatch — pass "
+    "kernel=\"numpy\" to the repro.kernels entry points instead"
+)
+
+
+@register
+class NumpyIsolation(Rule):
+    """``import numpy`` is for :mod:`repro.kernels` only."""
+
+    name = "numpy-isolation"
+    codes: ClassVar[Dict[str, str]] = {
+        "REP801": "numpy imported outside repro.kernels (optional "
+                  "accelerator; use the guarded kernel dispatch)",
+    }
+
+    @classmethod
+    def applies(cls, ctx: FileContext) -> bool:
+        module = ctx.module
+        if module is None or not ctx.in_repro_package():
+            return False
+        return not (
+            module == _KERNELS_PACKAGE
+            or module.startswith(_KERNELS_PACKAGE + ".")
+        )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "numpy" or alias.name.startswith("numpy."):
+                self.report(node, "REP801", _MESSAGE)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        mod = node.module or ""
+        if node.level == 0 and (mod == "numpy" or mod.startswith("numpy.")):
+            self.report(node, "REP801", _MESSAGE)
+        self.generic_visit(node)

@@ -31,6 +31,7 @@ STRICT_MODULES: Tuple[str, ...] = (
     "repro.determinism",
     "repro.graphs",
     "repro.harness",
+    "repro.kernels",
     "repro.lint",
     "repro.obs",
     "repro.oracle",

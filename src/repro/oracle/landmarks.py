@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import heapq
 import random
-from typing import List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.graphs.csr import CSRGraph
 
@@ -61,13 +61,18 @@ def _sssp(csr: CSRGraph, src: int) -> List[float]:
 
 
 def _far_sampling(
-    csr: CSRGraph, count: int, rng: random.Random
+    csr: CSRGraph,
+    count: int,
+    rng: random.Random,
+    run_sssp: Optional[Callable[[CSRGraph, int], List[float]]] = None,
 ) -> Tuple[List[int], List[List[float]]]:
     """Farthest-point sampling over the structure's own metric.
 
     Returns the chosen landmarks *and* each one's full distance array —
     selection needs exactly the Dijkstras the oracle's ALT potentials
     are made of, so the caller reuses them instead of recomputing.
+    ``run_sssp`` swaps the per-round SSSP (the kernels dispatch path);
+    the default is the local heap Dijkstra.
     """
     n = csr.n
     chosen = [rng.randrange(n)]
@@ -76,7 +81,7 @@ def _far_sampling(
     # one Dijkstra from it, min-merged into the running array
     best = [INF] * n
     while True:
-        dist = _sssp(csr, chosen[-1])
+        dist = (run_sssp or _sssp)(csr, chosen[-1])
         potentials.append(dist)
         for v in range(n):
             if dist[v] < best[v]:
@@ -125,6 +130,7 @@ def landmarks_with_potentials(
     count: int,
     strategy: str = "far",
     seed: int = 0,
+    kernel: str = "python",
 ) -> Tuple[List[int], List[List[float]]]:
     """:func:`select_landmarks` plus each landmark's distance array.
 
@@ -132,6 +138,15 @@ def landmarks_with_potentials(
     ``"far"`` strategy those Dijkstras already ran during selection and
     are returned rather than recomputed, so an oracle build pays for
     each landmark's SSSP once.
+
+    ``kernel`` selects the SSSP backend (:mod:`repro.kernels`).  The
+    selection itself is backend-independent — distances agree to 1e-9,
+    and both the ``"far"`` argmax and the ``"degree"`` ordering depend
+    only on distances/degrees — so a fixed ``(strategy, seed)`` picks
+    the same landmarks on every kernel.  Under ``"numpy"`` the
+    ``"degree"`` strategy computes all its potentials as one batched
+    matrix SSSP; ``"far"`` stays one (vectorized) SSSP per round, since
+    each round's source depends on the previous round's distances.
 
     Raises
     ------
@@ -148,7 +163,27 @@ def landmarks_with_potentials(
         return [], []
     count = min(count, csr.n)
     rng = random.Random(seed)
+    # resolve once: an explicit "numpy" on a numpy-less host must raise
+    # here, not silently run the python loop
+    from repro.kernels import resolve_kernel
+
+    backend = resolve_kernel(kernel)
     if strategy == "degree":
         chosen = _by_degree(csr, count, rng)
+        if backend == "numpy":
+            from repro.kernels import sssp_matrix
+
+            return chosen, sssp_matrix(
+                csr.indptr, csr.indices, csr.weights, chosen, kernel=backend
+            )
         return chosen, [_sssp(csr, i) for i in chosen]
+    if backend == "numpy":
+        from repro.kernels import sssp as kernel_sssp
+
+        return _far_sampling(
+            csr, count, rng,
+            run_sssp=lambda c, s: kernel_sssp(
+                c.indptr, c.indices, c.weights, [s], kernel="numpy"
+            )[0],
+        )
     return _far_sampling(csr, count, rng)

@@ -152,11 +152,18 @@ class DistanceOracle:
         strategy: str = "far",
         seed: int = 0,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        kernel: str = "python",
     ) -> "DistanceOracle":
         """Preprocess ``structure`` (spanner / SLT / any weighted graph).
 
         A :class:`WeightedGraph` is frozen to its cached CSR view; the
         structure is never mutated and never copied beyond that.
+
+        ``kernel`` selects the SSSP backend the landmark potentials are
+        computed with (:mod:`repro.kernels`; ``"numpy"`` batches the
+        ``"degree"`` strategy's Dijkstras into one matrix pass).  The
+        resulting oracle is kernel-independent: same landmarks, same
+        potentials to 1e-9, same answers.
 
         Raises
         ------
@@ -176,7 +183,7 @@ class DistanceOracle:
         # far-sampling's selection Dijkstras double as the potentials,
         # so each landmark's SSSP runs exactly once
         chosen, potentials = landmarks_with_potentials(
-            csr, landmarks, strategy=strategy, seed=seed
+            csr, landmarks, strategy=strategy, seed=seed, kernel=kernel
         )
         return cls(
             csr, chosen, potentials, _components(csr), strategy, seed,
@@ -344,14 +351,36 @@ class DistanceOracle:
         self._latency.observe((time.perf_counter() - t0) * 1e3)
         return answer
 
-    def query_many(self, pairs: Iterable[Tuple[Vertex, Vertex]]) -> List[float]:
+    def query_many(
+        self,
+        pairs: Iterable[Tuple[Vertex, Vertex]],
+        kernel: Optional[str] = None,
+    ) -> List[float]:
         """Batch :meth:`query`: one answer per ``(u, v)`` pair, in order.
 
-        The batch shares the version-stamped scratch arrays (and the
-        LRU cache) across queries, so serving a mix costs no per-query
-        allocation beyond the two heaps.
+        The default path (``kernel=None``) loops :meth:`query`, sharing
+        the version-stamped scratch arrays and the LRU cache across the
+        batch.  Passing a kernel name (``"numpy"``/``"auto"``/
+        ``"python"``) opts into *batched* serving instead: the pairs are
+        grouped by source, one batched SSSP
+        (:func:`repro.kernels.sssp_matrix`) settles every distinct
+        source's full distance row, and each pair reads its answer out
+        of its row — same exact-on-structure answers, best when many
+        pairs share few sources (it bypasses the per-query ALT search,
+        the LRU cache and its hit/miss counters).
         """
-        return [self.query(u, v) for u, v in pairs]
+        if kernel is None:
+            return [self.query(u, v) for u, v in pairs]
+        from repro.kernels import sssp_matrix
+
+        indexed = [(self._index(u), self._index(v)) for u, v in pairs]
+        order = sorted({s for s, _ in indexed})
+        csr = self.csr
+        rows = sssp_matrix(
+            csr.indptr, csr.indices, csr.weights, order, kernel=kernel
+        )
+        row_of = {s: rows[i] for i, s in enumerate(order)}
+        return [row_of[s][t] for s, t in indexed]
 
     def k_nearest(self, v: Vertex, k: int) -> List[Tuple[Vertex, float]]:
         """The ``k`` nearest other vertices of ``v`` on the structure.
@@ -470,9 +499,10 @@ def build_oracle(
     strategy: str = "far",
     seed: int = 0,
     cache_size: int = DEFAULT_CACHE_SIZE,
+    kernel: str = "python",
 ) -> DistanceOracle:
     """Convenience wrapper for :meth:`DistanceOracle.build`."""
     return DistanceOracle.build(
         structure, landmarks=landmarks, strategy=strategy, seed=seed,
-        cache_size=cache_size,
+        cache_size=cache_size, kernel=kernel,
     )
