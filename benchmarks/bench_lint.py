@@ -1,0 +1,188 @@
+"""Whole-program lint performance evidence: warm runs must be incremental.
+
+``repro lint --program`` parses, summarises and cross-analyzes the
+whole tree; its per-file work is cached by content hash
+(:mod:`repro.lint.cache`), so a warm run — the one every developer and
+every CI invocation after the first pays — re-reads only the facts
+pickles and the cheap cross-file passes.  The acceptance bar: the warm
+``--program`` run over ``src/`` completes in under
+:data:`MAX_WARM_SECONDS` seconds.
+
+This script measures both sides in fresh subprocesses against a
+throwaway cache directory::
+
+    python benchmarks/bench_lint.py --run     # measure + rewrite evidence
+    python benchmarks/bench_lint.py --check   # validate committed JSON
+    python benchmarks/bench_lint.py --run --out other.json
+                                   # measure without touching the evidence
+
+It writes the committed evidence files
+
+* ``benchmarks/BENCH_lint_program.txt`` — human-readable table;
+* ``benchmarks/BENCH_lint_program.json`` — the record CI's
+  ``static-analysis`` job gates on (warm run < 5s).
+
+CI validates the *committed* record and re-measures on its own
+hardware (``--run --out``) so a regression shows up in the job log
+even before the evidence is refreshed.
+
+Not a pytest file on purpose: repeated subprocess lint runs cost
+several seconds each and belong next to the other BENCH evidence
+scripts, not in the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+#: the acceptance bar: warm (hash-cached) --program run over src/.
+MAX_WARM_SECONDS = 5.0
+
+#: timed warm runs (the cold run is timed once: it fills the cache).
+WARM_RUNS = 5
+
+HERE = Path(__file__).resolve().parent
+REPO = HERE.parent
+TXT_PATH = HERE / "BENCH_lint_program.txt"
+JSON_PATH = HERE / "BENCH_lint_program.json"
+
+REQUIRED_JSON_KEYS = {
+    "harness", "files_linted", "cold_s", "warm", "speedup",
+    "max_warm_seconds",
+}
+
+
+def _lint_seconds(cache_dir: Path) -> float:
+    """One ``repro lint --program src`` subprocess against ``cache_dir``."""
+    t0 = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "--program",
+         "--cache-dir", str(cache_dir), "src"],
+        capture_output=True,
+        env={"PYTHONPATH": str(REPO / "src")},
+        cwd=str(REPO),
+        timeout=300,
+    )
+    elapsed = time.perf_counter() - t0
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"lint --program found issues or failed:\n{proc.stdout.decode()}"
+            f"{proc.stderr.decode()}"
+        )
+    return elapsed
+
+
+def _count_files() -> int:
+    return sum(
+        1 for p in (REPO / "src").rglob("*.py") if "__pycache__" not in p.parts
+    )
+
+
+def run(out: Path | None) -> int:
+    with tempfile.TemporaryDirectory(prefix="lint-bench-cache-") as tmp:
+        cache_dir = Path(tmp) / "cache"
+        cold = _lint_seconds(cache_dir)  # fills the cache
+        warm = [_lint_seconds(cache_dir) for _ in range(WARM_RUNS)]
+
+    warm_min = min(warm)
+    warm_median = statistics.median(warm)
+    record = {
+        "harness": f"repro lint --program src in fresh subprocesses; one "
+                   f"cold run fills a throwaway cache, {WARM_RUNS} warm "
+                   f"runs re-use it; the bar gates the warm median",
+        "files_linted": _count_files(),
+        "cold_s": round(cold, 3),
+        "warm": {
+            "runs_s": [round(t, 3) for t in warm],
+            "median_s": round(warm_median, 3),
+            "min_s": round(warm_min, 3),
+        },
+        "speedup": round(cold / warm_median, 1),
+        "max_warm_seconds": MAX_WARM_SECONDS,
+    }
+    target = out or JSON_PATH
+    target.write_text(json.dumps(record, indent=1, sort_keys=True) + "\n")
+
+    lines = [
+        "=== repro lint --program: cold vs warm (content-hash cache) ===",
+        "",
+        f"{'configuration':<40} {'time':>9}",
+        "-" * 52,
+        f"{'cold (empty cache, %d files)' % record['files_linted']:<40}"
+        f" {cold:>8.3f}s",
+        f"{'warm median (%d runs)' % WARM_RUNS:<40} {warm_median:>8.3f}s",
+        f"{'warm min':<40} {warm_min:>8.3f}s",
+        "",
+        f"warm speedup: {record['speedup']:.1f}x",
+        f"acceptance bar: warm median < {MAX_WARM_SECONDS:.0f}s "
+        f"(achieved {warm_median:.3f}s)",
+    ]
+    if out is None:
+        TXT_PATH.write_text("\n".join(lines) + "\n")
+    print("\n".join(lines))
+    print(f"\nwrote {target.name}" + ("" if out else f" and {TXT_PATH.name}"))
+
+    if warm_median >= MAX_WARM_SECONDS:
+        print(f"FATAL: warm median {warm_median:.3f}s is not under the "
+              f"{MAX_WARM_SECONDS:.0f}s acceptance bar")
+        return 1
+    return 0
+
+
+def check() -> int:
+    """Validate the committed JSON evidence (CI's static-analysis gate)."""
+    if not JSON_PATH.exists():
+        print(f"FATAL: {JSON_PATH} is missing — run with --run and commit it")
+        return 1
+    try:
+        record = json.loads(JSON_PATH.read_text())
+    except json.JSONDecodeError as exc:
+        print(f"FATAL: {JSON_PATH} does not parse: {exc}")
+        return 1
+    missing = REQUIRED_JSON_KEYS - set(record)
+    if missing:
+        print(f"FATAL: {JSON_PATH} lacks keys: {sorted(missing)}")
+        return 1
+    if record["max_warm_seconds"] != MAX_WARM_SECONDS:
+        print(f"FATAL: committed bar {record['max_warm_seconds']} != "
+              f"code bar {MAX_WARM_SECONDS}")
+        return 1
+    if len(record["warm"]["runs_s"]) < WARM_RUNS:
+        print(f"FATAL: evidence must cover >= {WARM_RUNS} warm runs")
+        return 1
+    if record["warm"]["median_s"] >= MAX_WARM_SECONDS:
+        print(f"FATAL: committed warm median {record['warm']['median_s']}s "
+              f"is not under the {MAX_WARM_SECONDS:.0f}s acceptance bar")
+        return 1
+    print(f"ok: warm --program median {record['warm']['median_s']}s over "
+          f"{record['files_linted']} files "
+          f"(bar < {MAX_WARM_SECONDS:.0f}s, cold {record['cold_s']}s, "
+          f"{record['speedup']}x speedup)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--run", action="store_true",
+                      help="measure and rewrite the evidence files")
+    mode.add_argument("--check", action="store_true",
+                      help="validate the committed JSON evidence")
+    parser.add_argument("--out", metavar="OUT.json", type=Path,
+                        help="with --run: write the record here instead of "
+                             "the committed evidence (CI re-measurement)")
+    args = parser.parse_args(argv)
+    if args.run:
+        return run(args.out)
+    return check()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -267,13 +267,24 @@ def cmd_lint(args: argparse.Namespace) -> int:
         for code, summary in lint.rule_catalog().items():
             print(f"{code}  {summary}")
         return 0
+    cache = None
+    if args.program and not args.no_cache:
+        from repro.lint.cache import AnalysisCache
+
+        cache = AnalysisCache(Path(args.cache_dir))
     try:
-        diagnostics = lint.lint_paths([Path(p) for p in args.paths])
+        diagnostics = lint.lint_paths(
+            [Path(p) for p in args.paths], program=args.program, cache=cache
+        )
     except FileNotFoundError as exc:
         print(f"error: no such path: {exc}", file=sys.stderr)
         return 2
     if args.format == "json":
         print(json.dumps([d.to_json() for d in diagnostics], indent=2))
+    elif args.format == "sarif":
+        from repro.lint.sarif import sarif_report
+
+        print(json.dumps(sarif_report(diagnostics), indent=2))
     else:
         for diag in diagnostics:
             print(diag.render())
@@ -497,12 +508,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to analyze (default: src)",
     )
     p.add_argument(
-        "--format", choices=["text", "json"], default="text",
-        help="report format (json is one object per finding, for tooling)",
+        "--format", choices=["text", "json", "sarif"], default="text",
+        help="report format (json is one object per finding; sarif is "
+             "a SARIF 2.1.0 log for code-scanning upload)",
     )
     p.add_argument(
         "--rules", action="store_true",
         help="list every rule code with its summary and exit",
+    )
+    p.add_argument(
+        "--program", action="store_true",
+        help="also run the whole-program passes (import-graph layering, "
+             "seed-taint, pool-safety) over the combined tree",
+    )
+    p.add_argument(
+        "--cache-dir", default=".repro-lint-cache", metavar="DIR",
+        help="per-file analysis cache for --program runs "
+             "(default: .repro-lint-cache)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the per-file analysis cache",
     )
     p.set_defaults(fn=cmd_lint)
 

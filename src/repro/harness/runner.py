@@ -449,7 +449,7 @@ def _certify_congest_cluster_round(graph: WeightedGraph, artifact: Any, params: 
     tree, sim = artifact
     # the simulation exposes the cluster graph and shifts it ran on, so
     # the abstract [EN17b] reference certifies against the same inputs
-    pure = elkin_neiman_spanner(sim.cluster_graph, params["k"], shifts=sim.shifts)
+    pure = elkin_neiman_spanner(sim.cluster_graph, params["k"], shifts=sim.shifts)  # repro: allow[REP1001] -- shifts= pins the randomness; rng is documented-ignored when shifts are given
     mismatches = len(sim.edges ^ pure.edges)
     per_round_cap = 3 * (len(sim.cluster_graph) + 2 * tree.height) + 12
     worst = max((cc + bc for cc, bc in sim.round_breakdown), default=0)

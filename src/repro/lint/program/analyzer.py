@@ -1,0 +1,29 @@
+"""Whole-program orchestration: facts in, program diagnostics out.
+
+The engine hands over one :class:`~repro.lint.engine.FileAnalysis` per
+file; everything cross-file happens here — the index is built once and
+shared by the import-graph and dataflow passes.  Program diagnostics
+flow back through the engine's suppression finalisation, so a
+``# repro: allow[REP901] -- why`` waiver on the offending import line
+works exactly like it does for per-file rules.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.program.callgraph import ProgramIndex
+from repro.lint.program.dataflow import pool_safety_pass, seed_taint_pass
+from repro.lint.program.facts import FileFacts
+from repro.lint.program.layering import layering_pass
+
+
+def analyze_program(facts: Iterable[FileFacts]) -> List[Diagnostic]:
+    """Run every whole-program pass over the given per-file facts."""
+    index = ProgramIndex(facts)
+    diagnostics: List[Diagnostic] = []
+    diagnostics.extend(layering_pass(index))
+    diagnostics.extend(seed_taint_pass(index))
+    diagnostics.extend(pool_safety_pass(index))
+    return diagnostics

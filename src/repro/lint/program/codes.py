@@ -1,0 +1,33 @@
+"""Rule codes emitted by the whole-program passes.
+
+Kept in a leaf module (no imports) so :mod:`repro.lint.registry` can
+fold them into the catalog — ``allow[...]`` waivers must recognise the
+program codes — without the registry depending on the analyzer itself.
+
+``REP9xx`` is the import-graph family (layering contract, cycles,
+external-dependency containment); ``REP10xx`` is the dataflow family
+over the interprocedural call graph (seed-taint, pool-safety).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Codes produced by the whole-program analyzer (``repro lint --program``).
+PROGRAM_CODES: Dict[str, str] = {
+    "REP901": "import violates the declared layering contract "
+              "(a layer may only import layers below it)",
+    "REP902": "module participates in a top-level import cycle",
+    "REP903": "external dependency imported outside its contracted packages",
+    "REP904": "module belongs to no layer the contract declares",
+    "REP1001": "seed chain sealed: seeded construction called from a "
+               "function with no rng/seed parameter of its own",
+    "REP1002": "seed chain dropped: caller has an rng/seed parameter "
+               "but does not thread it into the seeded callee",
+    "REP1011": "function reachable from a multiprocessing worker writes "
+               "module-level mutable state",
+    "REP1012": "function reachable from a multiprocessing worker mutates "
+               "frozen CSR arrays",
+    "REP1013": "function reachable from a multiprocessing worker touches "
+               "the process-global obs metrics registry",
+}

@@ -16,10 +16,11 @@ from typing import ClassVar, Dict, List, Type, TypeVar
 
 from repro.lint.context import FileContext
 from repro.lint.diagnostics import Diagnostic
+from repro.lint.program.codes import PROGRAM_CODES
 
 #: Codes emitted by the engine itself rather than a registered rule.
 ENGINE_CODES: Dict[str, str] = {
-    "REP000": "file does not parse (syntax error)",
+    "REP000": "file does not parse (syntax error, bad encoding, NUL bytes)",
     "REP001": "malformed suppression: missing or empty '-- justification'",
     "REP002": "suppression names an unknown rule code",
     "REP003": "suppression matches no diagnostic on its line",
@@ -81,8 +82,9 @@ def register(rule: R) -> R:
 
 
 def rule_catalog() -> Dict[str, str]:
-    """Every known code -> summary, engine codes included, sorted."""
+    """Every known code -> summary; engine and program codes included."""
     catalog = dict(ENGINE_CODES)
+    catalog.update(PROGRAM_CODES)
     for rule in RULES:
         catalog.update(rule.codes)
     return dict(sorted(catalog.items()))

@@ -17,10 +17,13 @@ import ast
 from typing import ClassVar, Dict
 
 from repro.lint.context import FileContext
+from repro.lint.program.contract import EXTERNAL_CONTRACT
 from repro.lint.registry import Rule, register
 
-#: The only package allowed to import numpy (behind its import guard).
-_KERNELS_PACKAGE = "repro.kernels"
+#: Packages allowed to import numpy, read from the declared external
+#: contract — this rule is the per-file enforcement of numpy's row
+#: (the other rows are the program-level REP903).
+_ALLOWED_PACKAGES = EXTERNAL_CONTRACT["numpy"]
 
 _MESSAGE = (
     "import of numpy outside repro.kernels; numpy is an optional "
@@ -44,9 +47,9 @@ class NumpyIsolation(Rule):
         module = ctx.module
         if module is None or not ctx.in_repro_package():
             return False
-        return not (
-            module == _KERNELS_PACKAGE
-            or module.startswith(_KERNELS_PACKAGE + ".")
+        return not any(
+            module == pkg or module.startswith(pkg + ".")
+            for pkg in _ALLOWED_PACKAGES
         )
 
     def visit_Import(self, node: ast.Import) -> None:

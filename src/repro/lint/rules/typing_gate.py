@@ -28,6 +28,7 @@ from repro.lint.registry import Rule, register
 #: this list over repro.*; grow this list as packages are annotated.
 STRICT_MODULES: Tuple[str, ...] = (
     "repro.analysis",
+    "repro.congest",
     "repro.determinism",
     "repro.graphs",
     "repro.harness",
@@ -35,6 +36,7 @@ STRICT_MODULES: Tuple[str, ...] = (
     "repro.lint",
     "repro.obs",
     "repro.oracle",
+    "repro.spanners",
 )
 
 

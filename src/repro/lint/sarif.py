@@ -1,0 +1,87 @@
+"""SARIF 2.1.0 rendering for ``repro lint --format sarif``.
+
+Static Analysis Results Interchange Format is what GitHub code
+scanning ingests: the CI ``static-analysis`` job uploads this file so
+findings annotate pull-request diffs inline.  The report declares one
+SARIF rule per catalog code (so suppressed-in-UI state survives code
+renames) and one result per diagnostic, with physical locations in
+repo-relative URIs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import rule_catalog
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _uri(path: str) -> str:
+    """Repo-relative forward-slash URI for a diagnostic path."""
+    p = Path(path)
+    try:
+        p = p.resolve().relative_to(Path.cwd().resolve())
+    except ValueError:
+        pass
+    return p.as_posix()
+
+
+def sarif_report(diagnostics: Sequence[Diagnostic]) -> Dict[str, object]:
+    """Build the SARIF log object for a finished lint run."""
+    catalog = rule_catalog()
+    rules: List[Dict[str, object]] = [
+        {
+            "id": code,
+            "shortDescription": {"text": summary},
+            "helpUri": "https://example.invalid/repro-lint#" + code.lower(),
+        }
+        for code, summary in sorted(catalog.items())
+    ]
+    rule_index = {code: i for i, code in enumerate(sorted(catalog))}
+    results: List[Dict[str, object]] = []
+    for diag in diagnostics:
+        result: Dict[str, object] = {
+            "ruleId": diag.code,
+            "level": "error",
+            "message": {"text": diag.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _uri(diag.path),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": diag.line,
+                            "startColumn": diag.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if diag.code in rule_index:
+            result["ruleIndex"] = rule_index[diag.code]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

@@ -24,7 +24,9 @@ import math
 import random
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, List, Mapping, Optional, Set, Tuple
+from typing import (
+    Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Set, Tuple,
+)
 
 from repro.determinism import ensure_rng
 
@@ -32,7 +34,8 @@ Node = Hashable
 
 
 def sample_shifts(
-    nodes, k: int, rng: random.Random, beta: Optional[float] = None
+    nodes: Iterable[Node], k: int, rng: random.Random,
+    beta: Optional[float] = None,
 ) -> Dict[Node, float]:
     """Sample ``r(x) ~ Exp(β)`` conditioned on ``r(x) < k`` for every node.
 

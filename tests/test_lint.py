@@ -526,13 +526,37 @@ class TestEngine:
         with pytest.raises(FileNotFoundError):
             lint_paths([Path("no/such/tree")])
 
+    def test_undecodable_bytes_are_rep000_not_a_traceback(self, tmp_path):
+        path = tmp_path / "latin.py"
+        path.write_bytes(b"# caf\xe9\nx = 1\n")  # 0xE9 is not valid UTF-8
+        diags = lint_file(path)
+        assert [d.code for d in diags] == ["REP000"]
+        assert "UTF-8" in diags[0].message
+
+    def test_nul_bytes_are_rep000_not_a_traceback(self, tmp_path):
+        path = tmp_path / "nul.py"
+        path.write_bytes(b"x = 1\x00\n")  # decodes fine, ast.parse raises
+        diags = lint_file(path)
+        assert [d.code for d in diags] == ["REP000"]
+
+    def test_broken_file_does_not_poison_the_rest_of_the_run(self, tmp_path):
+        (tmp_path / "bad.py").write_bytes(b"\xff\xfe garbage")
+        _write(tmp_path, "dirty.py", "import random\nx = random.random()\n")
+        diags = lint_paths([tmp_path])
+        assert sorted(d.code for d in diags) == ["REP000", "REP101"]
+
     def test_catalog_covers_every_family(self):
         catalog = rule_catalog()
         families = {code[:4] for code in all_codes()}
-        # engine codes (REP0xx) + six repo-specific rule families
+        # engine codes (REP0xx) + per-file rule families + the
+        # whole-program families (REP9xx import graph, REP10xx dataflow)
         assert {
             "REP0", "REP1", "REP2", "REP3", "REP4", "REP5", "REP6", "REP7",
+            "REP9",
         } <= families
+        assert {"REP1001", "REP1002", "REP1011", "REP1012", "REP1013"} <= set(
+            catalog
+        )
         assert set(catalog) == set(all_codes())
 
     def test_repo_src_and_tests_lint_clean(self):
@@ -573,3 +597,37 @@ class TestCli:
         out = capsys.readouterr().out
         for code in all_codes():
             assert code in out
+
+    def test_unparseable_file_exits_one_without_traceback(
+        self, tmp_path, capsys
+    ):
+        (tmp_path / "bad.py").write_bytes(b"\xff\xfe not python")
+        rc = main(["lint", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "REP000" in out
+        assert "Traceback" not in out
+
+    def test_sarif_format(self, tmp_path, capsys):
+        _write(tmp_path, "dirty.py", "import random\nx = random.random()\n")
+        rc = main(["lint", "--format", "sarif", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        log = json.loads(out)
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert set(all_codes()) <= rule_ids
+        result = run["results"][0]
+        assert result["ruleId"] == "REP101"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 2
+        assert region["startColumn"] == 5  # SARIF columns are 1-based
+
+    def test_sarif_clean_tree_has_empty_results(self, tmp_path, capsys):
+        _write(tmp_path, "clean.py", "x = 1\n")
+        rc = main(["lint", "--format", "sarif", str(tmp_path)])
+        log = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert log["runs"][0]["results"] == []
