@@ -447,6 +447,189 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return rc
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import os
+    import signal
+    import time
+
+    from repro.oracle import DistanceOracle
+    from repro.serve import Server
+
+    if bool(args.profile) == bool(args.structure):
+        raise SystemExit("error: give exactly one of --profile or --structure")
+    landmarks = args.landmarks
+    if args.structure:
+        structure = _load(args.structure)
+        seed = args.seed if args.seed is not None else 0
+        if landmarks is None:
+            landmarks = 8
+    else:
+        from repro import harness
+        from repro.harness.loadgen import build_profile_structure
+        from repro.harness.queries import QUERY_MIXES
+
+        try:
+            profile = harness.get_profile(args.profile)
+        except KeyError as exc:
+            raise SystemExit(f"error: {exc.args[0]}") from None
+        _graph, structure, gen_s, build_s = build_profile_structure(
+            profile, args.tier
+        )
+        seed = profile.seed if args.seed is None else args.seed
+        if landmarks is None:
+            landmarks = QUERY_MIXES[args.tier].landmarks
+        print(
+            f"built {profile.name}@{args.tier}: generation {gen_s:.3f}s, "
+            f"construction {build_s:.3f}s",
+            flush=True,
+        )
+    t0 = time.perf_counter()
+    oracle = DistanceOracle.build(
+        structure,
+        landmarks=landmarks,
+        strategy=args.strategy,
+        seed=seed,
+        cache_size=args.cache_size,
+    )
+    print(f"oracle built in {time.perf_counter() - t0:.3f}s", flush=True)
+    server = Server(
+        oracle,
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        unix_path=args.unix,
+        warm=args.warm,
+        max_frame=args.max_frame,
+    )
+    server.start()
+    address = server.address
+    spec = (
+        f"unix:{address}" if isinstance(address, str)
+        else f"{address[0]}:{address[1]}"
+    )
+    # the machine-readable handshake line the load generator (and the CI
+    # smoke job) waits for before opening connections
+    print(
+        f"READY address={spec} workers={server.workers} "
+        f"n={oracle.csr.n} landmarks={len(oracle.landmark_indices)} "
+        f"payload_bytes={server.payload_bytes} pid={os.getpid()}",
+        flush=True,
+    )
+
+    def _stop(signum: int, frame: object) -> None:
+        server.request_shutdown()
+
+    signal.signal(signal.SIGTERM, _stop)
+    signal.signal(signal.SIGINT, _stop)
+    server.serve_forever()
+    print("daemon stopped", flush=True)
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro import harness
+    from repro.harness import loadgen
+    from repro.harness.queries import QUERY_MIXES, build_query_mix
+    from repro.harness.runner import ProfileRecord
+
+    try:
+        profile = harness.get_profile(args.profile)
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}") from None
+    tier = args.tier
+    if args.mode == "closed":
+        levels = [float(int(x)) for x in args.concurrency.split(",")]
+    else:
+        levels = [float(x) for x in args.rate.split(",")]
+    graph, structure, gen_s, build_s = loadgen.build_profile_structure(
+        profile, tier
+    )
+    mix = QUERY_MIXES[tier]
+    raw_pairs, _sources = build_query_mix(structure, mix, profile.seed)
+    pairs = [(str(u), str(v)) for u, v in raw_pairs]
+    print(
+        f"{profile.name}@{tier}: {len(pairs)} pairs, "
+        f"mode {args.mode}, levels {levels}"
+    )
+
+    proc = None
+    if args.connect:
+        from repro.serve import address_of
+
+        address = address_of(args.connect)
+    else:
+        proc, address = loadgen.launch_daemon([
+            "--profile", profile.name, "--tier", tier,
+            "--workers", str(args.workers), "--port", "0",
+            "--warm", str(args.warm),
+        ])
+    try:
+        block = loadgen.drive_load(
+            address,
+            pairs,
+            args.mode,
+            levels,
+            arrivals=args.arrivals,
+            duration=args.duration,
+            repeats=args.repeats,
+            clients=args.clients,
+            seed=profile.seed,
+            workers=None if args.connect else args.workers,
+        )
+    finally:
+        if proc is not None:
+            loadgen.stop_daemon(proc)
+
+    for level in block["levels"]:
+        print(
+            f"  {level['key']:>6}  {level['requests']:>6} req  "
+            f"p50 {level['p50_ms']:.3f}ms  p99 {level['p99_ms']:.3f}ms  "
+            f"p999 {level['p999_ms']:.3f}ms  {level['qps']:.0f} q/s  "
+            f"failures {level['failure_rate']:.2%}"
+        )
+
+    record = ProfileRecord(
+        profile=profile.name,
+        tier=tier,
+        family=profile.family,
+        algorithm=profile.algorithm,
+        section=profile.section,
+        seed=profile.seed,
+        params=dict(profile.algo_params(tier)),
+        n=graph.n,
+        m=graph.m,
+        generation_seconds=gen_s,
+        construction_seconds=build_s,
+        certification_seconds=0.0,
+        peak_memory_bytes=None,
+        rounds=None,
+        metrics={},
+        ok=True,
+        load=block,
+    )
+    report = harness.make_report([record], suite="load", tag=args.tag)
+    rc = 0
+    if args.out:
+        harness.write_report(report, args.out)
+        print(f"wrote load report to {args.out}")
+    if args.compare:
+        try:
+            baseline = harness.load_report(args.compare)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"error: cannot load baseline: {exc}") from exc
+        try:
+            comparison = harness.compare_reports(
+                baseline, report, tolerance=args.tolerance
+            )
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}") from exc
+        print(f"\ndeltas vs {args.compare} (tolerance {args.tolerance:.0%}):")
+        print(comparison.render())
+        if not comparison.ok:
+            rc = 1
+    return rc
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -673,6 +856,93 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=10, metavar="N",
                    help="how many hot spans to rank by self time (default: 10)")
     p.set_defaults(fn=cmd_trace_summarize)
+
+    p = sub.add_parser(
+        "serve",
+        help="multi-worker shared-memory serving daemon (repro.serve); "
+             "prints a READY line once the socket is bound",
+    )
+    p.add_argument("--profile", default=None,
+                   help="serve this harness profile's structure "
+                        "(built at --tier with the profile's seed)")
+    p.add_argument("--tier", choices=["smoke", "table1", "stress"],
+                   default="smoke",
+                   help="size tier for --profile (default: smoke)")
+    p.add_argument("--structure", default=None,
+                   help="serve a structure file instead of a profile "
+                        "(.json or edge list)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker processes over the shared segment (default: 2)")
+    p.add_argument("--landmarks", type=int, default=None,
+                   help="ALT landmarks (default: the tier's query-mix "
+                        "count, or 8 for --structure)")
+    p.add_argument("--strategy", choices=["far", "degree"], default="far",
+                   help="landmark selection strategy (default: far-sampling)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="oracle seed (default: the profile's seed, or 0)")
+    p.add_argument("--cache-size", type=int, default=4096,
+                   help="per-worker LRU result-cache capacity (default: 4096)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="TCP bind host (default: 127.0.0.1)")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP bind port; 0 picks an ephemeral port, "
+                        "reported on the READY line (default: 0)")
+    p.add_argument("--unix", metavar="PATH", default=None,
+                   help="serve a unix-domain socket at PATH instead of TCP")
+    p.add_argument("--warm", type=int, default=0, metavar="N",
+                   help="seeded warm-up queries per worker before ready "
+                        "(default: 0)")
+    p.add_argument("--max-frame", type=int, default=1 << 20,
+                   help="largest accepted/emitted frame body in bytes "
+                        "(default: 1 MiB)")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="closed/open-loop load generator against the serving daemon "
+             "(repro.harness.loadgen); writes a schema-v6 'load' report",
+    )
+    p.add_argument("--profile", required=True,
+                   help="harness profile whose structure and seeded query "
+                        "mix drive the load")
+    p.add_argument("--tier", choices=["smoke", "table1", "stress"],
+                   default="smoke",
+                   help="size tier (default: smoke)")
+    p.add_argument("--mode", choices=["closed", "open"], default="closed",
+                   help="closed loop (fixed concurrency) or open loop "
+                        "(seeded arrival schedule) (default: closed)")
+    p.add_argument("--concurrency", default="1,2,4", metavar="K[,K...]",
+                   help="closed-loop concurrency levels (default: 1,2,4)")
+    p.add_argument("--rate", default="100", metavar="QPS[,QPS...]",
+                   help="open-loop offered rates in requests/s (default: 100)")
+    p.add_argument("--arrivals", choices=["poisson", "bursty"],
+                   default="poisson",
+                   help="open-loop arrival process (default: poisson)")
+    p.add_argument("--duration", type=float, default=5.0, metavar="S",
+                   help="open-loop schedule horizon in seconds (default: 5)")
+    p.add_argument("--repeats", type=int, default=1, metavar="R",
+                   help="closed-loop passes over the query mix (default: 1)")
+    p.add_argument("--clients", type=int, default=8, metavar="N",
+                   help="open-loop connection pool size (default: 8)")
+    p.add_argument("--connect", metavar="ADDR", default=None,
+                   help="drive an already-running daemon at host:port or "
+                        "unix:/path instead of launching one")
+    p.add_argument("--workers", type=int, default=2,
+                   help="workers of the self-launched daemon (default: 2; "
+                        "ignored with --connect)")
+    p.add_argument("--warm", type=int, default=0, metavar="N",
+                   help="warm-up queries per worker of the self-launched "
+                        "daemon (default: 0)")
+    p.add_argument("--out", help="write the JSON load report here")
+    p.add_argument("--compare", metavar="BASELINE",
+                   help="diff this run against a prior load report; "
+                        "gate on regressions")
+    p.add_argument("--tolerance", type=float, default=0.5,
+                   help="relative latency/qps tolerance for the gate "
+                        "(default 0.5)")
+    p.add_argument("--tag", default=None,
+                   help="free-form tag stamped into the report")
+    p.set_defaults(fn=cmd_loadgen)
 
     return parser
 

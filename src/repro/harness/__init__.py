@@ -9,6 +9,8 @@ reproducible perf record:
   and certification separately and sampling peak memory;
 * :mod:`repro.harness.queries` — seeded query mixes served through a
   :class:`~repro.oracle.DistanceOracle` (the schema-4 ``queries`` block);
+* :mod:`repro.harness.loadgen` — closed/open-loop load generation
+  against the :mod:`repro.serve` daemon (the schema-6 ``load`` block);
 * :mod:`repro.harness.results` — schema-versioned JSON reports plus the
   regression/improvement comparison gate.
 
@@ -26,6 +28,20 @@ from repro.harness.profiles import (
     huge_profiles,
     profile_names,
     register,
+)
+from repro.harness.loadgen import (
+    ARRIVALS,
+    MODES,
+    LevelResult,
+    build_profile_structure,
+    drive_load,
+    launch_daemon,
+    request_schedule,
+    run_closed_level,
+    run_open_level,
+    schedule_bytes,
+    schedule_digest,
+    stop_daemon,
 )
 from repro.harness.queries import (
     QUERY_MIXES,
@@ -72,6 +88,18 @@ __all__ = [
     "huge_profiles",
     "profile_names",
     "register",
+    "ARRIVALS",
+    "MODES",
+    "LevelResult",
+    "build_profile_structure",
+    "drive_load",
+    "launch_daemon",
+    "request_schedule",
+    "run_closed_level",
+    "run_open_level",
+    "schedule_bytes",
+    "schedule_digest",
+    "stop_daemon",
     "QUERY_MIXES",
     "QueryMix",
     "build_query_mix",

@@ -24,6 +24,11 @@ Gating rules (deliberately asymmetric per quantity):
   gates on its reciprocal (fewer queries per second is the regression),
   and cache hit/miss counts are seeded-deterministic so they gate at 1%
   like rounds;
+* daemon load (``load`` block, schema 6) — per load level,
+  p50/p99/p999 latency and achieved qps gate like the queries block,
+  request counts are schedule-deterministic (seeded arrivals) so they
+  gate at 1%, and the failure rate tolerates one absolute percentage
+  point before any increase gates;
 * quality — a profile whose certification flips from ok to violated is
   always a regression, regardless of tolerance.
 
@@ -56,8 +61,12 @@ SCHEMA_NAME = "repro.harness.bench"
 #: the ``observability`` block (per-record repro.obs counter/gauge
 #: deltas + span count), the network block's lifetime ``rounds`` total,
 #: and a nullable ``peak_memory_bytes`` (``--no-mem`` runs record
-#: ``null``).  Older reports still load, with those blocks absent.
-SCHEMA_VERSION = 5
+#: ``null``); version 6 the ``load`` block (per-level daemon load:
+#: p50/p99/p999 latency, achieved qps, failure rate, request counts
+#: from the seeded closed/open-loop generator in
+#: :mod:`repro.harness.loadgen`).  Older reports still load, with those
+#: blocks absent.
+SCHEMA_VERSION = 6
 
 #: seconds below which timing deltas are considered pure jitter
 TIME_FLOOR_SECONDS = 0.05
@@ -67,6 +76,8 @@ MEMORY_FLOOR_BYTES = 1 << 20
 ROUNDS_TOLERANCE = 0.01
 #: milliseconds below which query-latency deltas are considered jitter
 QUERY_LATENCY_FLOOR_MS = 0.05
+#: absolute failure-rate change below which load levels do not gate
+LOAD_FAILURE_RATE_FLOOR = 0.01
 
 
 def environment_metadata() -> Dict[str, str]:
@@ -138,7 +149,9 @@ class Delta:
     profile: str
     # "construction_seconds" | "peak_memory_bytes" | "rounds" | "messages"
     # | "words" | "active_node_rounds" | "query_p50_ms" | "query_p99_ms"
-    # | "query_qps" | "query_cache_hits" | "query_cache_misses" | "quality"
+    # | "query_qps" | "query_cache_hits" | "query_cache_misses"
+    # | "load_<level>_{p50_ms,p99_ms,p999_ms,qps,failure_rate,requests}"
+    # | "quality"
     quantity: str
     baseline: Optional[float]
     current: Optional[float]
@@ -337,6 +350,33 @@ def compare_reports(
                     f"query_{quantity}", bq.get(quantity), cq.get(quantity),
                     rel, floor, invert=invert,
                 )
+        # daemon load (schema-6 ``load`` block): levels match by key
+        # (``c4`` / ``r100``); latencies and qps gate like the queries
+        # block (p999 included — tail latency is the point of the open
+        # loop), request counts come from seeded schedules and gate
+        # like rounds, and the failure rate gates on any increase past
+        # one absolute percentage point.
+        bl = b.load or {}
+        cl = c.load or {}
+        if b.load is not None or c.load is not None:
+            blevels = {str(lv.get("key")): lv for lv in bl.get("levels", [])}
+            clevels = {str(lv.get("key")): lv for lv in cl.get("levels", [])}
+            for level_key in sorted(set(blevels) | set(clevels)):
+                blv = blevels.get(level_key, {})
+                clv = clevels.get(level_key, {})
+                for quantity, rel, floor, invert in (
+                    ("p50_ms", tolerance, QUERY_LATENCY_FLOOR_MS, False),
+                    ("p99_ms", tolerance, QUERY_LATENCY_FLOOR_MS, False),
+                    ("p999_ms", tolerance, QUERY_LATENCY_FLOOR_MS, False),
+                    ("qps", tolerance, 0.0, True),
+                    ("failure_rate", 0.0, LOAD_FAILURE_RATE_FLOOR, False),
+                    ("requests", ROUNDS_TOLERANCE, 0.0, False),
+                ):
+                    _block_delta(
+                        f"load_{level_key}_{quantity}",
+                        blv.get(quantity), clv.get(quantity),
+                        rel, floor, invert=invert,
+                    )
         quality_status = "ok"
         if b.ok and not c.ok:
             quality_status = "regression"

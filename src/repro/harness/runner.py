@@ -580,6 +580,11 @@ class ProfileRecord:
     # are wall-clock-shaped and the block must stay seeded-deterministic);
     # absent from schema <= 4 reports
     observability: Optional[Dict[str, object]] = None
+    # daemon load-generation results (per-level latency percentiles,
+    # achieved qps, failure rate — see repro.harness.loadgen); present
+    # only on records produced by ``repro loadgen``, and absent from
+    # schema <= 5 reports
+    load: Optional[Dict[str, object]] = None
 
     def to_dict(self) -> Dict[str, object]:
         """Plain-JSON form (inverse of :meth:`from_dict`)."""
@@ -610,18 +615,19 @@ class ProfileRecord:
             "queries": dict(self.queries) if self.queries is not None else None,
             "observability": dict(self.observability)
             if self.observability is not None else None,
+            "load": dict(self.load) if self.load is not None else None,
             "metrics": {k: dict(v) for k, v in self.metrics.items()},
             "ok": self.ok,
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ProfileRecord":
-        """Rebuild a record from its JSON form (schema versions 1 to 5).
+        """Rebuild a record from its JSON form (schema versions 1 to 6).
 
         Blocks introduced by later schema versions (``network``,
-        ``certification``, ``queries``, ``observability``) load as
-        ``None``/empty when the report predates them — a v1 report must
-        keep comparing cleanly under the current schema.
+        ``certification``, ``queries``, ``observability``, ``load``)
+        load as ``None``/empty when the report predates them — a v1
+        report must keep comparing cleanly under the current schema.
         """
         timings = data["timings"]
         graph = data["graph"]
@@ -629,6 +635,7 @@ class ProfileRecord:
         certification = data.get("certification")
         queries = data.get("queries")
         observability = data.get("observability")
+        load = data.get("load")
         return cls(
             profile=data["profile"],
             tier=data["tier"],
@@ -655,6 +662,7 @@ class ProfileRecord:
             queries=dict(queries) if queries is not None else None,
             observability=dict(observability)
             if observability is not None else None,
+            load=dict(load) if load is not None else None,
         )
 
 

@@ -45,7 +45,7 @@ LAYERS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     ("structures", ("repro.mst", "repro.spt", "repro.spanners",
                     "repro.hopsets", "repro.lelists", "repro.traversal")),
     ("algorithms", ("repro.core", "repro.baselines")),
-    ("serving", ("repro.oracle",)),
+    ("serving", ("repro.oracle", "repro.serve")),
     ("analysis", ("repro.analysis",)),
     ("harness", ("repro.harness",)),
     ("tooling", ("repro.lint",)),

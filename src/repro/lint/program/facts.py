@@ -38,6 +38,10 @@ _SEEDISH_SUFFIXES = ("_rng", "_seed")
 #: callables that construct a :mod:`multiprocessing` pool / executor.
 _POOL_CONSTRUCTORS = {"Pool", "ThreadPool", "ProcessPoolExecutor"}
 
+#: callables that spawn one worker process around a ``target=`` entry
+#: point (``multiprocessing.Process`` / a spawn context's ``Process``).
+_PROCESS_CONSTRUCTORS = {"Process"}
+
 #: pool / executor methods that ship a callable to workers.
 _DISPATCH_METHODS = {
     "apply", "apply_async", "imap", "imap_unordered", "map", "map_async",
@@ -122,11 +126,11 @@ class FunctionFacts:
 
 @dataclass(frozen=True)
 class PoolEntryFact:
-    """A callable shipped into a multiprocessing pool."""
+    """A callable shipped into a multiprocessing pool or child process."""
 
     lineno: int
     target: str  # dotted expression of the worker callable as written
-    kind: str  # "initializer" | "dispatch"
+    kind: str  # "initializer" | "dispatch" | "process"
 
 
 @dataclass(frozen=True)
@@ -507,11 +511,23 @@ class _Extractor:
         if isinstance(chain, ast.Subscript):
             chain = chain.value
         if isinstance(chain, ast.Attribute) and chain.attr in _CSR_ARRAYS:
-            kind = "subscript" if isinstance(target, ast.Subscript) else "attribute"
-            acc.csr_writes.append(WriteFact(
-                target.lineno, target.col_offset,
-                f"{_dotted(chain) or chain.attr}", kind,
-            ))
+            # a constructor initializing its own attributes
+            # (self.indptr = ... inside __init__) is construction, not
+            # mutation of an existing shared CSR view
+            constructor_self = (
+                isinstance(chain.value, ast.Name)
+                and chain.value.id == "self"
+                and acc.qualname.endswith("__init__")
+            )
+            if not constructor_self:
+                kind = (
+                    "subscript" if isinstance(target, ast.Subscript)
+                    else "attribute"
+                )
+                acc.csr_writes.append(WriteFact(
+                    target.lineno, target.col_offset,
+                    f"{_dotted(chain) or chain.attr}", kind,
+                ))
         if in_module_scope:
             return  # module-level assignments *define* globals
         # module-global stores: X = / X[...] = / X.attr =
@@ -591,6 +607,18 @@ class _Extractor:
                     if target:
                         self.pool_entries.append(PoolEntryFact(
                             node.lineno, target, "initializer",
+                        ))
+        elif self._leaf_name(node.func) in _PROCESS_CONSTRUCTORS:
+            # Process(target=...) — a daemon-style worker entry point;
+            # everything reachable from it runs in a child process, so
+            # the worker-reachability races apply exactly as they do to
+            # pool dispatch targets.
+            for kw in node.keywords:
+                if kw.arg == "target":
+                    target = _dotted(_unwrap_partial(kw.value))
+                    if target:
+                        self.pool_entries.append(PoolEntryFact(
+                            node.lineno, target, "process",
                         ))
         elif isinstance(node.func, ast.Attribute) and (
             node.func.attr in _DISPATCH_METHODS

@@ -36,6 +36,7 @@ STRICT_MODULES: Tuple[str, ...] = (
     "repro.lint",
     "repro.obs",
     "repro.oracle",
+    "repro.serve",
     "repro.spanners",
 )
 

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import heapq
 import time
+from array import array
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -115,15 +116,22 @@ class DistanceOracle:
         self,
         csr: CSRGraph,
         landmark_indices: Sequence[int],
-        potentials: Sequence[List[float]],
-        components: List[int],
+        potentials: Sequence[Sequence[float]],
+        components: Sequence[int],
         strategy: str,
         seed: int,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        copy: bool = True,
     ) -> None:
+        # copy=False serves potentials/components in place — the
+        # shared-memory worker path (repro.serve.shm), where the rows
+        # are read-only memoryviews into one segment shared by every
+        # worker and copying would defeat the sharing.
         self.csr = csr
         self.landmark_indices = list(landmark_indices)
-        self.potentials = [list(p) for p in potentials]
+        self.potentials: List[Sequence[float]] = (
+            [list(p) for p in potentials] if copy else list(potentials)
+        )
         self.components = components
         self.strategy = strategy
         self.seed = seed
@@ -464,11 +472,21 @@ class DistanceOracle:
     # Pickling: potentials travel, per-process state does not
     # ------------------------------------------------------------------
     def __getstate__(self) -> Dict[str, object]:
+        # materialise: a shared-memory-backed oracle (copy=False views
+        # over a segment) must pickle into a self-contained one
+        csr = self.csr
+        if isinstance(csr.indptr, memoryview):
+            csr = CSRGraph(
+                list(csr.indptr),
+                list(csr.indices),
+                array("d", csr.weights),
+                list(csr.verts),
+            )
         return {
-            "csr": self.csr,
+            "csr": csr,
             "landmark_indices": self.landmark_indices,
-            "potentials": self.potentials,
-            "components": self.components,
+            "potentials": [list(p) for p in self.potentials],
+            "components": list(self.components),
             "strategy": self.strategy,
             "seed": self.seed,
             "cache_size": self.cache_size,

@@ -149,14 +149,14 @@ class TestLayering:
         assert [c for c in _codes(tmp_path) if c[2] == "REP903"] == []
 
     def test_undeclared_package_is_rep904(self, tmp_path):
-        _write(tmp_path, "src/repro/serve/daemon.py", """\
+        _write(tmp_path, "src/repro/webui/daemon.py", """\
             def start() -> None:
                 return None
         """)
-        assert ("src/repro/serve/daemon.py", 1, "REP904") in _codes(tmp_path)
+        assert ("src/repro/webui/daemon.py", 1, "REP904") in _codes(tmp_path)
 
     def test_program_codes_absent_without_program_flag(self, tmp_path):
-        _write(tmp_path, "src/repro/serve/daemon.py", """\
+        _write(tmp_path, "src/repro/webui/daemon.py", """\
             def start() -> None:
                 return None
         """)
@@ -360,6 +360,60 @@ class TestPoolSafety:
                     return list(pool.map(_work, graphs))
         """)
         assert ("src/repro/analysis/par.py", 6, "REP1012") in _codes(tmp_path)
+
+    def test_process_target_is_a_pool_root(self, tmp_path):
+        """Process(target=...) workers (the serve daemon's shape) are
+        reachability roots exactly like pool dispatch targets."""
+        _write(tmp_path, "src/repro/analysis/proc.py", """\
+            from multiprocessing import Process
+            from typing import Dict
+
+            _STATE: Dict[str, int] = {}
+
+
+            def _worker(n: int) -> None:
+                _STATE["n"] = n
+
+
+            def run(n: int) -> None:
+                proc = Process(target=_worker, args=(n,))
+                proc.start()
+                proc.join()
+        """)
+        assert ("src/repro/analysis/proc.py", 8, "REP1011") in _codes(tmp_path)
+
+    def test_constructor_self_init_of_csr_arrays_is_clean(self, tmp_path):
+        """self.indptr = ... inside __init__ is construction; the same
+        store outside a constructor still gates as REP1012."""
+        _write(tmp_path, "src/repro/graphs/csrlike.py", """\
+            from typing import List
+
+
+            class Frozen:
+                def __init__(self, indptr: List[int]) -> None:
+                    self.indptr = indptr
+        """)
+        _write(tmp_path, "src/repro/analysis/proc.py", """\
+            from multiprocessing import Process
+
+            from repro.graphs.csrlike import Frozen
+
+
+            def _stomp(frozen: Frozen) -> None:
+                frozen.indptr[0] = 1
+
+
+            def _worker() -> None:
+                frozen = Frozen([0])
+                _stomp(frozen)
+
+
+            def run() -> None:
+                Process(target=_worker).start()
+        """)
+        codes = [c for c in _codes(tmp_path) if c[2] == "REP1012"]
+        assert ("src/repro/analysis/proc.py", 7, "REP1012") in codes
+        assert not any(path.endswith("csrlike.py") for path, _, _ in codes)
 
     def test_obs_global_registry_in_worker_is_rep1013(self, tmp_path):
         _write_obs_stub(tmp_path)
@@ -595,6 +649,11 @@ class TestContract:
         assert allowed_import("repro.graphs.csr", "repro.kernels.sssp")
         assert not allowed_import("repro.obs.metrics", "repro.harness.runner")
         assert allowed_import("repro.spt.tree", "repro.spt.heap")
+        # the serving layer: the load generator (harness) drives the
+        # daemon, never the other way around; serve and oracle are peers
+        assert allowed_import("repro.harness.loadgen", "repro.serve.client")
+        assert allowed_import("repro.serve.shm", "repro.oracle.oracle")
+        assert not allowed_import("repro.serve.daemon", "repro.harness.runner")
 
     def test_external_contract_rows(self):
         assert EXTERNAL_CONTRACT["numpy"] == ("repro.kernels",)

@@ -612,7 +612,7 @@ class TestCliTrace:
                 "harness.build", "harness.certify", "congest.run"} <= names
 
         report = json.loads(out.read_text())
-        assert report["schema_version"] == 5
+        assert report["schema_version"] == 6
         record = report["records"][0]
         assert record["peak_memory_bytes"] is None  # --no-mem
         assert record["observability"]["enabled"] is True

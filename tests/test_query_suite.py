@@ -118,8 +118,8 @@ class TestSchemaCompatibility:
                              measure_memory=False, queries=True)
         return make_report([record], suite="smoke")
 
-    def test_report_is_schema_v5(self, current):
-        assert current["schema_version"] == 5
+    def test_report_is_schema_v6(self, current):
+        assert current["schema_version"] == 6
         assert current["records"][0]["queries"] is not None
 
     def test_v1_report_loads_and_compares_without_keyerror(self, current, tmp_path):
@@ -194,7 +194,7 @@ class TestQueriesCLI:
         text = capsys.readouterr().out
         assert "p50" in text and "hit-rate" in text
         report = json.loads(out.read_text())
-        assert report["schema_version"] == 5
+        assert report["schema_version"] == 6
         assert all(r["queries"] for r in report["records"])
 
     def test_queries_flag_on_a_tier_suite(self, tmp_path, capsys):
